@@ -1,0 +1,239 @@
+// Command neusim runs one workload on one NPU/MMU configuration and
+// prints the simulation summary.
+//
+// Usage:
+//
+//	neusim -model CNN-1 -batch 4 -mmu neummu -pages 4KB
+//	neusim -model RNN-3 -batch 1 -mmu iommu -ptws 8 -prmb 0
+//	neusim -model CNN-3 -batch 8 -mmu custom -ptws 128 -prmb 32 -tpreg
+//
+// The -mmu flag selects oracle, iommu, neummu, or custom; custom builds
+// the walker from the -ptws/-prmb/-tpreg/-tlb flags.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/npu"
+	"neummu/internal/spatial"
+	"neummu/internal/systolic"
+	"neummu/internal/tlb"
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+	"neummu/internal/workloads"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "CNN-1", "workload: CNN-1..3, RNN-1..3 (or alexnet, resnet50, ...)")
+		batch     = flag.Int("batch", 1, "batch size")
+		mmuKind   = flag.String("mmu", "neummu", "MMU: oracle, iommu, neummu, custom")
+		pages     = flag.String("pages", "4KB", "page size: 4KB or 2MB")
+		ptws      = flag.Int("ptws", 128, "custom: number of page-table walkers")
+		prmb      = flag.Int("prmb", 32, "custom: PRMB mergeable slots per PTW")
+		tpreg     = flag.Bool("tpreg", true, "custom: enable per-PTW translation path register")
+		tlbSize   = flag.Int("tlb", 2048, "TLB entries")
+		repeatCap = flag.Int("repeat-cap", 0, "cap simulated repeats per layer (0 = all)")
+		tileCap   = flag.Int("tile-cap", 0, "cap simulated tiles per layer instance (0 = all)")
+		useSpat   = flag.Bool("spatial", false, "use the spatial-array compute model instead of systolic")
+		compare   = flag.Bool("oracle-baseline", true, "also run the oracle and report normalized performance")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *asJSON {
+		if err := runJSON(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
+			*tlbSize, *repeatCap, *tileCap, *useSpat); err != nil {
+			fmt.Fprintln(os.Stderr, "neusim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
+		*tlbSize, *repeatCap, *tileCap, *useSpat, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "neusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, batch int, mmuKind, pages string, ptws, prmb int,
+	tpreg bool, tlbSize, repeatCap, tileCap int, useSpatial, compare bool) error {
+	m, err := workloads.ByName(model)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(mmuKind, pages, ptws, prmb, tpreg, tlbSize,
+		repeatCap, tileCap, useSpatial)
+	if err != nil {
+		return err
+	}
+	ps := cfg.MMU.PageSize
+
+	res, err := npu.RunModel(m, batch, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model            %s (batch %d)\n", res.Model, res.Batch)
+	fmt.Printf("mmu              %s, %s pages\n", res.MMUKind, ps)
+	fmt.Printf("compute          %s\n", res.Compute)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("  memory phases  %d\n", res.MemPhaseCycles)
+	fmt.Printf("  compute phases %d\n", res.ComputeCycles)
+	fmt.Printf("  issue stalls   %d\n", res.StallCycles)
+	fmt.Printf("tiles            %d\n", res.Tiles)
+	fmt.Printf("translations     %d\n", res.Translations)
+	fmt.Printf("bytes fetched    %d\n", res.BytesFetched)
+	fmt.Printf("page divergence  avg %.0f max %.0f per tile\n",
+		res.PageDivergence.Mean(), res.PageDivergence.Max)
+	if res.MMUKind != core.Oracle {
+		fmt.Printf("TLB              %.1f%% hit (%d lookups)\n",
+			100*res.TLB.HitRate(), res.TLB.Lookups)
+		fmt.Printf("walks            %d started, %d redundant, %d merged\n",
+			res.Walker.WalksStarted, res.Walker.RedundantWalks, res.Walker.Merges)
+		fmt.Printf("walk DRAM reads  %d (%d levels skipped)\n",
+			res.Walker.WalkMemAccesses, res.Walker.SkippedLevels)
+		l4, l3, l2 := res.Path.Rates()
+		fmt.Printf("path cache       L4 %.1f%%  L3 %.1f%%  L2 %.1f%%\n",
+			100*l4, 100*l3, 100*l2)
+	}
+
+	if compare && mmuKind != "oracle" {
+		ocfg := cfg
+		ocfg.MMU = core.Config{Kind: core.Oracle, PageSize: ps}
+		oracle, err := npu.RunModel(m, batch, ocfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("oracle cycles    %d\n", oracle.Cycles)
+		fmt.Printf("normalized perf  %.4f (overhead %.2f%%)\n",
+			res.NormalizedPerf(oracle), 100*res.Overhead(oracle))
+	}
+	return nil
+}
+
+// buildConfig assembles the npu configuration shared by the text and JSON
+// paths.
+func buildConfig(mmuKind, pages string, ptws, prmb int, tpreg bool,
+	tlbSize, repeatCap, tileCap int, useSpatial bool) (npu.Config, error) {
+	ps := vm.Page4K
+	switch pages {
+	case "4KB", "4K", "4k":
+	case "2MB", "2M", "2m":
+		ps = vm.Page2M
+	default:
+		return npu.Config{}, fmt.Errorf("unknown page size %q", pages)
+	}
+	var mcfg core.Config
+	switch mmuKind {
+	case "oracle":
+		mcfg = core.Config{Kind: core.Oracle, PageSize: ps}
+	case "iommu":
+		mcfg = core.ConfigFor(core.IOMMU, ps)
+	case "neummu":
+		mcfg = core.ConfigFor(core.NeuMMU, ps)
+	case "custom":
+		w := walker.Config{
+			NumPTWs: ptws, PRMBSlots: prmb, UsePTS: true,
+			LevelLatency: 100, PageSize: ps, DrainPerCycle: true,
+		}
+		if tpreg {
+			w.Path = walker.PathTPreg
+		}
+		t := tlb.Baseline(ps)
+		t.Entries = tlbSize
+		mcfg = core.Config{Kind: core.Custom, PageSize: ps, TLB: t, Walker: w}
+	default:
+		return npu.Config{}, fmt.Errorf("unknown MMU kind %q", mmuKind)
+	}
+	cfg := npu.Config{
+		MMU:       mcfg,
+		Memory:    memsys.Baseline(),
+		Compute:   systolic.Baseline(),
+		RepeatCap: repeatCap,
+		TileCap:   tileCap,
+	}
+	if useSpatial {
+		cfg.Compute = spatial.Baseline()
+	}
+	return cfg, nil
+}
+
+// jsonResult is the machine-readable summary emitted by -json.
+type jsonResult struct {
+	Model           string  `json:"model"`
+	Batch           int     `json:"batch"`
+	MMU             string  `json:"mmu"`
+	PageSize        string  `json:"page_size"`
+	Compute         string  `json:"compute"`
+	Cycles          int64   `json:"cycles"`
+	MemPhaseCycles  int64   `json:"mem_phase_cycles"`
+	ComputeCycles   int64   `json:"compute_cycles"`
+	StallCycles     int64   `json:"stall_cycles"`
+	Tiles           int     `json:"tiles"`
+	Translations    int64   `json:"translations"`
+	BytesFetched    int64   `json:"bytes_fetched"`
+	PageDivAvg      float64 `json:"page_divergence_avg"`
+	PageDivMax      float64 `json:"page_divergence_max"`
+	TLBHitRate      float64 `json:"tlb_hit_rate"`
+	Walks           int64   `json:"walks"`
+	RedundantWalks  int64   `json:"redundant_walks"`
+	Merges          int64   `json:"merges"`
+	WalkMemAccesses int64   `json:"walk_mem_accesses"`
+	SkippedLevels   int64   `json:"skipped_levels"`
+	OracleCycles    int64   `json:"oracle_cycles"`
+	NormalizedPerf  float64 `json:"normalized_perf"`
+}
+
+func runJSON(model string, batch int, mmuKind, pages string, ptws, prmb int,
+	tpreg bool, tlbSize, repeatCap, tileCap int, useSpatial bool) error {
+	m, err := workloads.ByName(model)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(mmuKind, pages, ptws, prmb, tpreg, tlbSize,
+		repeatCap, tileCap, useSpatial)
+	if err != nil {
+		return err
+	}
+	res, err := npu.RunModel(m, batch, cfg)
+	if err != nil {
+		return err
+	}
+	ocfg := cfg
+	ocfg.MMU = core.Config{Kind: core.Oracle, PageSize: cfg.MMU.PageSize}
+	oracle, err := npu.RunModel(m, batch, ocfg)
+	if err != nil {
+		return err
+	}
+	out := jsonResult{
+		Model: res.Model, Batch: res.Batch,
+		MMU: res.MMUKind.String(), PageSize: cfg.MMU.PageSize.String(),
+		Compute:         res.Compute,
+		Cycles:          int64(res.Cycles),
+		MemPhaseCycles:  int64(res.MemPhaseCycles),
+		ComputeCycles:   int64(res.ComputeCycles),
+		StallCycles:     int64(res.StallCycles),
+		Tiles:           res.Tiles,
+		Translations:    res.Translations,
+		BytesFetched:    res.BytesFetched,
+		PageDivAvg:      res.PageDivergence.Mean(),
+		PageDivMax:      res.PageDivergence.Max,
+		TLBHitRate:      res.TLB.HitRate(),
+		Walks:           res.Walker.WalksStarted,
+		RedundantWalks:  res.Walker.RedundantWalks,
+		Merges:          res.Walker.Merges,
+		WalkMemAccesses: res.Walker.WalkMemAccesses,
+		SkippedLevels:   res.Walker.SkippedLevels,
+		OracleCycles:    int64(oracle.Cycles),
+		NormalizedPerf:  res.NormalizedPerf(oracle),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

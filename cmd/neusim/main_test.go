@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunAllMMUKinds(t *testing.T) {
+	for _, kind := range []string{"oracle", "iommu", "neummu", "custom"} {
+		err := run("CNN-1", 1, kind, "4KB", 32, 8, true, 2048, 1, 2, false, false)
+		if err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunLargePages(t *testing.T) {
+	if err := run("RNN-2", 1, "neummu", "2MB", 128, 32, true, 2048, 1, 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpatial(t *testing.T) {
+	if err := run("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := runJSON("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runJSON("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, false); err == nil {
+		t.Fatal("unknown model accepted by JSON path")
+	}
+	if err := runJSON("CNN-1", 1, "neummu", "3MB", 128, 32, true, 2048, 1, 2, false); err == nil {
+		t.Fatal("bad page size accepted by JSON path")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run("CNN-1", 1, "tlb-only", "4KB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+		t.Fatal("unknown MMU kind accepted")
+	}
+	if err := run("CNN-1", 1, "neummu", "1GB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+		t.Fatal("unknown page size accepted")
+	}
+}

@@ -1,0 +1,436 @@
+// Command paperfigs regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	paperfigs                # regenerate everything (several minutes)
+//	paperfigs -fig fig8      # one figure
+//	paperfigs -quick         # reduced sweep (seconds, for smoke tests)
+//
+// Figures: table1, fig6, fig7, fig8, fig10, fig11, fig12a, fig12b, fig13,
+// fig14, fig15, fig16, summary, tlbsweep, largepage, spatial, sensitivity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"neummu/internal/exp"
+)
+
+var figures = []string{"table1", "fig6", "fig7", "fig8", "fig10", "fig11",
+	"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16", "summary",
+	"tlbsweep", "largepage", "spatial", "sensitivity", "pathcache",
+	"multitenant", "throttle", "steady", "oversub", "dataflow"}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate (or 'all')")
+		quick = flag.Bool("quick", false, "reduced sweep for smoke testing")
+	)
+	flag.Parse()
+
+	h := exp.New(exp.Options{Quick: *quick})
+	targets := figures
+	if *fig != "all" {
+		targets = strings.Split(*fig, ",")
+	}
+	for _, f := range targets {
+		if err := render(h, strings.TrimSpace(f)); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func render(h *exp.Harness, fig string) error {
+	switch fig {
+	case "table1":
+		return table1()
+	case "fig6":
+		return fig6(h)
+	case "fig7":
+		return fig7(h)
+	case "fig8":
+		return fig8(h)
+	case "fig10":
+		return sweep(h, "Figure 10: PRMB mergeable-slot sweep (8 PTWs)", "slots", h.Fig10)
+	case "fig11":
+		return sweep(h, "Figure 11: PTW sweep with PRMB(32)", "PTWs", h.Fig11)
+	case "fig12a":
+		return sweep(h, "Figure 12a: PTW sweep without PRMB", "PTWs", h.Fig12a)
+	case "fig12b":
+		return fig12b(h)
+	case "fig13":
+		return fig13(h)
+	case "fig14":
+		return fig14(h)
+	case "fig15":
+		return fig15(h)
+	case "fig16":
+		return fig16(h)
+	case "summary":
+		return summary(h)
+	case "tlbsweep":
+		return tlbsweep(h)
+	case "largepage":
+		return largepage(h)
+	case "spatial":
+		return spatialFig(h)
+	case "sensitivity":
+		return sensitivity(h)
+	case "pathcache":
+		return pathcache(h)
+	case "multitenant":
+		return multitenant(h)
+	case "throttle":
+		return throttle(h)
+	case "steady":
+		return steady(h)
+	case "oversub":
+		return oversub(h)
+	case "dataflow":
+		return dataflow(h)
+	}
+	return fmt.Errorf("unknown figure %q (have %s)", fig, strings.Join(figures, ", "))
+}
+
+func table1() error {
+	header("Table I: Baseline NPU configuration")
+	rows := [][2]string{
+		{"Systolic-array dimension", "128 x 128"},
+		{"Operating frequency", "1 GHz"},
+		{"Scratchpad (activations/weights)", "15/10 MB (5 MB double-buffered tiles)"},
+		{"Memory channels", "8"},
+		{"Memory bandwidth", "600 GB/sec"},
+		{"Memory access latency", "100 cycles"},
+		{"TLB entries", "2048 (5-cycle hit)"},
+		{"Page-table walkers (IOMMU)", "8 (100 cycles per level)"},
+		{"NUMA access latency", "150 cycles"},
+		{"CPU-NPU interconnect", "16 GB/sec"},
+		{"NPU-NPU interconnect", "160 GB/sec"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-36s %s\n", r[0], r[1])
+	}
+	return nil
+}
+
+func fig6(h *exp.Harness) error {
+	rows, err := h.Fig6()
+	if err != nil {
+		return err
+	}
+	header("Figure 6: page divergence per DMA tile (4KB pages)")
+	fmt.Printf("  %-8s %-5s %10s %10s\n", "model", "batch", "avg", "max")
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %10.0f %10.0f\n", r.Model, r.Batch, r.Avg, r.Max)
+	}
+	return nil
+}
+
+func fig7(h *exp.Harness) error {
+	series, err := h.Fig7()
+	if err != nil {
+		return err
+	}
+	header("Figure 7: translations requested per 1000-cycle window")
+	for _, s := range series {
+		fmt.Printf("  %s (batch 1): peak %d/window, burst fraction %.2f\n",
+			s.Model, s.Series.Peak(), s.Series.BurstFraction(0.9))
+		fmt.Printf("  |%s|\n", s.Series.Sparkline(72))
+	}
+	return nil
+}
+
+func fig8(h *exp.Harness) error {
+	rows, err := h.Fig8()
+	if err != nil {
+		return err
+	}
+	header("Figure 8: baseline IOMMU performance normalized to oracle")
+	printNormPerf(rows)
+	return nil
+}
+
+func printNormPerf(rows []exp.NormPerfRow) {
+	fmt.Printf("  %-8s %-5s %10s\n", "model", "batch", "perf")
+	sum := 0.0
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %10.4f\n", r.Model, r.Batch, r.Perf)
+		sum += r.Perf
+	}
+	fmt.Printf("  %-8s %-5s %10.4f\n", "average", "", sum/float64(len(rows)))
+}
+
+func sweep(h *exp.Harness, title, param string, run func() ([]exp.SweepRow, error)) error {
+	rows, err := run()
+	if err != nil {
+		return err
+	}
+	header(title)
+	// Aggregate per parameter value across the suite.
+	agg := map[int][]float64{}
+	for _, r := range rows {
+		agg[r.Param] = append(agg[r.Param], r.Perf)
+	}
+	var params []int
+	for p := range agg {
+		params = append(params, p)
+	}
+	sort.Ints(params)
+	fmt.Printf("  %-8s %12s %12s %12s\n", param, "avg perf", "min", "max")
+	for _, p := range params {
+		vals := agg[p]
+		sum, min, max := 0.0, vals[0], vals[0]
+		for _, v := range vals {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Printf("  %-8d %12.4f %12.4f %12.4f\n", p, sum/float64(len(vals)), min, max)
+	}
+	return nil
+}
+
+func fig12b(h *exp.Harness) error {
+	rows, err := h.Fig12b()
+	if err != nil {
+		return err
+	}
+	header("Figure 12b: energy/performance of [PRMB,PTW] design points")
+	fmt.Printf("  %-12s %12s %16s\n", "[M,N]", "perf", "energy (vs nominal)")
+	for _, r := range rows {
+		mark := ""
+		if r.Slots == 32 && r.PTWs == 128 {
+			mark = "  *nominal"
+		}
+		fmt.Printf("  [%4d,%4d] %12.4f %16.2f%s\n", r.Slots, r.PTWs, r.Perf, r.Energy, mark)
+	}
+	return nil
+}
+
+func fig13(h *exp.Harness) error {
+	rows, err := h.Fig13()
+	if err != nil {
+		return err
+	}
+	header("Figure 13: TPreg tag-match rate at L4/L3/L2 indices")
+	fmt.Printf("  %-8s %-5s %8s %8s %8s\n", "model", "batch", "L4", "L3", "L2")
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Model, r.Batch, 100*r.L4, 100*r.L3, 100*r.L2)
+	}
+	return nil
+}
+
+func fig14(h *exp.Harness) error {
+	rows, err := h.Fig14(4)
+	if err != nil {
+		return err
+	}
+	header("Figure 14: virtual addresses accessed across consecutive tiles (CNN-1 fc6)")
+	if len(rows) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	step := len(rows) / 16
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(rows); i += step {
+		fmt.Printf("  txn %6d  VA %#012x\n", rows[i].Seq, rows[i].VA)
+	}
+	fmt.Printf("  (%d transactions total; monotone streaming within each tile)\n", len(rows))
+	return nil
+}
+
+func fig15(h *exp.Harness) error {
+	rows, err := h.Fig15()
+	if err != nil {
+		return err
+	}
+	header("Figure 15: recommendation inference latency breakdown (normalized to MMU-less baseline)")
+	fmt.Printf("  %-6s %-5s %-12s %8s %8s %8s %8s %8s\n",
+		"model", "batch", "mode", "embed", "gemm", "reduce", "else", "total")
+	for _, r := range rows {
+		fmt.Printf("  %-6s b%02d   %-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			r.Model, r.Batch, r.Mode, r.Embedding, r.GEMM, r.Reduction, r.Else, r.Total)
+	}
+	return nil
+}
+
+func fig16(h *exp.Harness) error {
+	rows, err := h.Fig16()
+	if err != nil {
+		return err
+	}
+	header("Figure 16: demand paging, small vs large pages (normalized to oracular MMU)")
+	fmt.Printf("  %-6s %-5s %-6s %-8s %10s\n", "model", "batch", "pages", "mmu", "perf")
+	for _, r := range rows {
+		fmt.Printf("  %-6s b%02d   %-6s %-8s %10.4f\n",
+			r.Model, r.Batch, r.PageSize, r.MMU, r.Perf)
+	}
+	return nil
+}
+
+func summary(h *exp.Harness) error {
+	s, err := h.RunSummary()
+	if err != nil {
+		return err
+	}
+	header("Section IV-D summary: NeuMMU vs baseline IOMMU (paper targets in parens)")
+	fmt.Printf("  baseline IOMMU avg normalized perf  %8.4f   (paper: ~0.05)\n", s.IOMMUAvgPerf)
+	fmt.Printf("  NeuMMU avg normalized perf          %8.4f   (paper: 0.9994)\n", s.NeuMMUAvgPerf)
+	fmt.Printf("  NeuMMU performance overhead         %8.4f%%  (paper: 0.06%%)\n", 100*s.NeuMMUOverhead)
+	fmt.Printf("  translation energy ratio IOMMU/Neu  %8.2fx  (paper: 16.3x)\n", s.EnergyRatio)
+	fmt.Printf("  walk DRAM-access ratio IOMMU/Neu    %8.2fx  (paper: 18.8x)\n", s.WalkAccessRatio)
+	return nil
+}
+
+func tlbsweep(h *exp.Harness) error {
+	rows, err := h.TLBSweep()
+	if err != nil {
+		return err
+	}
+	header("Section III-C: TLB capacity sweep on baseline IOMMU")
+	fmt.Printf("  %-10s %12s\n", "entries", "avg perf")
+	for _, r := range rows {
+		fmt.Printf("  %-10d %12.4f\n", r.Entries, r.Perf)
+	}
+	return nil
+}
+
+func largepage(h *exp.Harness) error {
+	rows, err := h.LargePageDense()
+	if err != nil {
+		return err
+	}
+	header("Section VI-A: dense workloads with 2MB large pages")
+	fmt.Printf("  %-8s %-5s %12s %12s %12s\n", "model", "batch", "IOMMU 4KB", "IOMMU 2MB", "NeuMMU 2MB")
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %12.4f %12.4f %12.4f\n",
+			r.Model, r.Batch, r.Perf4K, r.Perf2M, r.NeuMMU2M)
+	}
+	return nil
+}
+
+func spatialFig(h *exp.Harness) error {
+	rows, err := h.SpatialNPU()
+	if err != nil {
+		return err
+	}
+	header("Section VI-B: spatial-array NPU (DaDianNao/Eyeriss-style)")
+	fmt.Printf("  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func sensitivity(h *exp.Harness) error {
+	rows, err := h.Sensitivity()
+	if err != nil {
+		return err
+	}
+	header("Section VI-C: large-batch common-layer sensitivity")
+	fmt.Printf("  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%03d  %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func pathcache(h *exp.Harness) error {
+	rows, err := h.PathCacheStudy()
+	if err != nil {
+		return err
+	}
+	header("Section IV-C: translation-path cache design space (TPreg vs TPC vs UPTC)")
+	fmt.Printf("  %-8s %8s %8s %8s %14s %10s\n", "kind", "L4", "L3", "L2", "reads/walk", "perf")
+	for _, r := range rows {
+		fmt.Printf("  %-8s %7.1f%% %7.1f%% %7.1f%% %14.2f %10.4f\n",
+			r.Kind, 100*r.L4, 100*r.L3, 100*r.L2, r.WalkMemPerWalk, r.Perf)
+	}
+	return nil
+}
+
+func multitenant(h *exp.Harness) error {
+	rows, err := h.MultiTenant()
+	if err != nil {
+		return err
+	}
+	header("Extension: IOMMU sharing — walkers consumed by a co-tenant accelerator")
+	fmt.Printf("  %-12s %-12s %12s\n", "stolen PTWs", "remaining", "avg perf")
+	for _, r := range rows {
+		fmt.Printf("  %-12d %-12d %12.4f\n", r.StolenPTWs, 128-r.StolenPTWs, r.Perf)
+	}
+	return nil
+}
+
+func throttle(h *exp.Harness) error {
+	rows, err := h.BurstThrottle()
+	if err != nil {
+		return err
+	}
+	header("Section III-C counterpoint: throttling the DMA issue queue is no fix")
+	fmt.Printf("  %-12s %12s\n", "queue depth", "avg perf")
+	for _, r := range rows {
+		fmt.Printf("  %-12d %12.4f\n", r.IssueInterval, r.Perf)
+	}
+	return nil
+}
+
+func steady(h *exp.Harness) error {
+	rows, err := h.SteadyState()
+	if err != nil {
+		return err
+	}
+	header("Extension: steady-state demand paging across consecutive batches")
+	fmt.Printf("  %-6s %-22s %-5s %14s %10s %12s %8s\n",
+		"model", "mode", "iter", "gather cycles", "faults", "migrated KB", "promos")
+	for _, r := range rows {
+		fmt.Printf("  %-6s %-22s %-5d %14d %10d %12d %8d\n",
+			r.Model, r.Mode, r.Iteration, r.GatherCycles, r.Faults, r.MigratedKB, r.Promotions)
+	}
+	return nil
+}
+
+func oversub(h *exp.Harness) error {
+	rows, err := h.Oversubscription()
+	if err != nil {
+		return err
+	}
+	header("Extension: local-memory oversubscription (warm-batch thrashing)")
+	fmt.Printf("  %-16s %14s %12s %12s\n", "capacity (pages)", "warm gather", "warm faults", "evictions")
+	for _, r := range rows {
+		capStr := "unbounded"
+		if r.CapacityPages > 0 {
+			capStr = fmt.Sprintf("%d", r.CapacityPages)
+		}
+		fmt.Printf("  %-16s %14d %12d %12d\n", capStr, r.WarmGather, r.WarmFaults, r.Evictions)
+	}
+	return nil
+}
+
+func dataflow(h *exp.Harness) error {
+	rows, err := h.DataflowStudy()
+	if err != nil {
+		return err
+	}
+	header("Section VI-B: dataflow study (weight-stationary / output-stationary / spatial)")
+	fmt.Printf("  %-20s %-8s %-5s %12s %12s\n", "dataflow", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Printf("  %-20s %-8s b%02d   %12.4f %12.4f\n", r.Dataflow, r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"neummu/internal/exp"
+)
+
+// TestRenderEveryFigure renders every figure in quick mode; any harness
+// regression or formatting panic fails here before it reaches a user.
+func TestRenderEveryFigure(t *testing.T) {
+	h := exp.New(exp.Options{Quick: true})
+	for _, f := range figures {
+		if err := render(h, f); err != nil {
+			t.Fatalf("figure %s: %v", f, err)
+		}
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	h := exp.New(exp.Options{Quick: true})
+	if err := render(h, "fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

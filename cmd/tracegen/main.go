@@ -1,0 +1,85 @@
+// Command tracegen dumps address-translation traces from a workload run:
+// the per-window translation burst timeline (Figure 7) and the raw
+// virtual-address stream (Figure 14), as CSV on stdout.
+//
+// Usage:
+//
+//	tracegen -model CNN-1 -kind bursts  > bursts.csv
+//	tracegen -model CNN-1 -kind vas -tiles 4 > vas.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/npu"
+	"neummu/internal/sim"
+	"neummu/internal/systolic"
+	"neummu/internal/vm"
+	"neummu/internal/workloads"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "CNN-1", "workload (CNN-1..3, RNN-1..3)")
+		batch  = flag.Int("batch", 1, "batch size")
+		kind   = flag.String("kind", "bursts", "trace kind: bursts or vas")
+		window = flag.Int64("window", 1000, "burst window in cycles")
+		tiles  = flag.Int("tiles", 4, "tile cap for VA traces")
+		layers = flag.Int("layers", 0, "layer cap (0 = all)")
+	)
+	flag.Parse()
+	if err := run(*model, *batch, *kind, *window, *tiles, *layers); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, batch int, kind string, window int64, tiles, layers int) error {
+	m, err := workloads.ByName(model)
+	if err != nil {
+		return err
+	}
+	plan, err := workloads.BuildPlan(m, batch, workloads.DefaultTiles())
+	if err != nil {
+		return err
+	}
+	if layers > 0 && len(plan.Layers) > layers {
+		plan.Layers = plan.Layers[:layers]
+	}
+	cfg := npu.Config{
+		MMU:       core.Config{Kind: core.Oracle, PageSize: vm.Page4K},
+		Memory:    memsys.Baseline(),
+		Compute:   systolic.Baseline(),
+		RepeatCap: 2,
+	}
+	switch kind {
+	case "bursts":
+		cfg.TimelineWindow = window
+		res, err := npu.Run(plan, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("window_start_cycle,translations")
+		for i, b := range res.Timeline.Buckets() {
+			fmt.Printf("%d,%d\n", int64(i)*window, b)
+		}
+	case "vas":
+		cfg.TileCap = tiles
+		fmt.Println("seq,cycle,va")
+		seq := 0
+		cfg.TraceVAs = func(va vm.VirtAddr, now sim.Cycle) {
+			fmt.Printf("%d,%d,%#x\n", seq, now, va)
+			seq++
+		}
+		if _, err := npu.Run(plan, cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown trace kind %q (bursts, vas)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunBursts(t *testing.T) {
+	if err := run("CNN-1", 1, "bursts", 1000, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVAs(t *testing.T) {
+	if err := run("RNN-2", 1, "vas", 1000, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("VGG", 1, "bursts", 1000, 2, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run("CNN-1", 1, "heatmap", 1000, 2, 1); err == nil {
+		t.Fatal("unknown trace kind accepted")
+	}
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: the NPU memory
+// management unit. It composes the TLB (internal/tlb) and the page-table
+// walker machinery (internal/walker — PTS, PRMB, parallel PTWs, TPreg)
+// into a translation engine with three canonical configurations:
+//
+//   - Oracle: every translation resolves instantly with zero latency. All
+//     performance results in the paper (and in EXPERIMENTS.md) are
+//     normalized to this design point.
+//   - IOMMU: the baseline GPU-centric design — a 2048-entry IOTLB with
+//     5-cycle hits backed by 8 page-table walkers, no scoreboard, no
+//     request merging, no path caching.
+//   - NeuMMU: the paper's throughput-centric proposal — the same TLB
+//     backed by 128 walkers, each with a 32-slot pending request merging
+//     buffer, a pending-translation scoreboard, and a per-walker
+//     translation path register.
+//
+// The engine is event-driven (internal/sim) and applies back-pressure the
+// way the hardware does: when every walker is busy and every PRMB slot is
+// full, the requester (the DMA unit) stalls until capacity frees (§IV-A).
+package core
+
+import (
+	"fmt"
+
+	"neummu/internal/sim"
+	"neummu/internal/stats"
+	"neummu/internal/tlb"
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+)
+
+// Kind names a canonical MMU configuration.
+type Kind int
+
+const (
+	// Oracle resolves every translation instantly (normalization target).
+	Oracle Kind = iota
+	// IOMMU is the baseline GPU-centric IOMMU (Table I).
+	IOMMU
+	// NeuMMU is the paper's proposal (§IV).
+	NeuMMU
+	// Custom uses exactly the Config's TLB/Walker fields (sweeps).
+	Custom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Oracle:
+		return "oracle"
+	case IOMMU:
+		return "iommu"
+	case NeuMMU:
+		return "neummu"
+	default:
+		return "custom"
+	}
+}
+
+// Config describes an MMU instance.
+type Config struct {
+	Kind     Kind
+	PageSize vm.PageSize
+	// TLB and Walker are consulted for Custom (always) and to override
+	// presets when non-zero (sweeps tweak one knob at a time).
+	TLB    tlb.Config
+	Walker walker.Config
+	// PrefetchNext enables sequential translation prefetching: when a
+	// walk for page P completes, the MMU speculatively walks P+1 on an
+	// idle walker and fills the TLB with the result. An ablation beyond
+	// the paper (its related-work §VII cites TLB-prefetching literature);
+	// streaming DMA traffic is the best case for such a prefetcher.
+	PrefetchNext bool
+}
+
+// ConfigFor returns the canonical configuration of kind k at the given
+// page size.
+func ConfigFor(k Kind, ps vm.PageSize) Config {
+	cfg := Config{Kind: k, PageSize: ps, TLB: tlb.Baseline(ps)}
+	switch k {
+	case IOMMU:
+		cfg.Walker = walker.BaselineIOMMU(ps)
+	case NeuMMU:
+		cfg.Walker = walker.NeuMMU(ps)
+	default:
+		cfg.Walker = walker.NeuMMU(ps)
+	}
+	return cfg
+}
+
+// Stats aggregates MMU-level activity.
+type Stats struct {
+	Issued     int64 // translation requests accepted from the requester
+	OracleHits int64 // requests satisfied instantly (oracle mode)
+	TLBHits    int64
+	TLBMisses  int64
+	Faults     int64 // page faults surfaced to the fault handler
+	Retries    int64 // re-submissions after fault resolution
+	StallEnter int64 // times the engine asserted back-pressure
+	Prefetches int64 // speculative next-page walks issued
+	// Latency distributes per-request translation latency in cycles.
+	Latency stats.Dist
+}
+
+// FaultHandler resolves a page fault: it receives the faulting address and
+// a resolve callback; the handler performs whatever timing it models
+// (migration, host interrupt, ...) and then calls resolve, after which the
+// MMU retries the translation. The page must be mapped by then.
+type FaultHandler func(va vm.VirtAddr, now sim.Cycle, resolve func())
+
+type pending struct {
+	va     vm.VirtAddr
+	issued sim.Cycle
+	done   func(e vm.Entry, now sim.Cycle)
+}
+
+// MMU is the translation engine.
+type MMU struct {
+	cfg  Config
+	q    *sim.Queue
+	pt   *vm.PageTable
+	tlb  *tlb.TLB
+	pool *walker.Pool
+
+	stats    Stats
+	blocked  []pending
+	stalled  bool
+	seq      uint64
+	inFly    map[uint64]*pending // walker request seq → pending
+	prefetch map[uint64]struct{} // seqs of speculative walks (no consumer)
+
+	// OnUnblocked fires when back-pressure releases; the DMA engine
+	// resumes issuing. OnFault, when set, receives page faults; when nil
+	// a fault panics (dense workloads must never fault).
+	OnUnblocked func(now sim.Cycle)
+	OnFault     FaultHandler
+}
+
+// New builds an MMU over the page table pt, scheduling on q.
+func New(cfg Config, pt *vm.PageTable, q *sim.Queue) *MMU {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = vm.Page4K
+	}
+	m := &MMU{
+		cfg: cfg, q: q, pt: pt,
+		inFly:    make(map[uint64]*pending),
+		prefetch: make(map[uint64]struct{}),
+	}
+	if cfg.Kind == Oracle {
+		return m
+	}
+	tcfg := cfg.TLB
+	if tcfg.Entries == 0 {
+		tcfg = tlb.Baseline(cfg.PageSize)
+	}
+	tcfg.PageSize = cfg.PageSize
+	m.tlb = tlb.New(tcfg)
+
+	wcfg := cfg.Walker
+	if wcfg.NumPTWs == 0 {
+		wcfg = walker.NeuMMU(cfg.PageSize)
+	}
+	wcfg.PageSize = cfg.PageSize
+	m.pool = walker.NewPool(wcfg, pt, q)
+	m.pool.OnWalkDone = func(va vm.VirtAddr, e vm.Entry, _ sim.Cycle) {
+		frame := e.Frame
+		if e.Size > m.cfg.PageSize {
+			// A larger mapping (e.g. a promoted 2 MB page under a 4 KB
+			// TLB) caches at TLB granularity: keep this small page's
+			// frame so hits translate correctly.
+			frame += vm.PhysAddr(vm.PageBase(va, m.cfg.PageSize) - vm.PageBase(va, e.Size))
+		}
+		m.tlb.Fill(va, frame, e.Device)
+		if cfg.PrefetchNext {
+			m.prefetchNext(va)
+		}
+	}
+	m.pool.OnComplete = m.walkComplete
+	m.pool.OnFault = m.walkFault
+	m.pool.OnCapacity = m.capacityFreed
+	return m
+}
+
+// Config returns the MMU's configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of MMU counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// TLBStats returns the TLB's counters (zero value in oracle mode).
+func (m *MMU) TLBStats() tlb.Stats {
+	if m.tlb == nil {
+		return tlb.Stats{}
+	}
+	return m.tlb.Stats()
+}
+
+// WalkerStats returns the walker pool's counters (zero value in oracle
+// mode).
+func (m *MMU) WalkerStats() walker.Stats {
+	if m.pool == nil {
+		return walker.Stats{}
+	}
+	return m.pool.Stats()
+}
+
+// PathStats returns translation-path cache statistics (zero value in
+// oracle mode).
+func (m *MMU) PathStats() walker.PathStats {
+	if m.pool == nil {
+		return walker.PathStats{}
+	}
+	return m.pool.PathStats()
+}
+
+// InvalidateTLB drops the cached translation for va's page (page
+// migration support).
+func (m *MMU) InvalidateTLB(va vm.VirtAddr) {
+	if m.tlb != nil {
+		m.tlb.Invalidate(va)
+	}
+}
+
+// Stalled reports whether the MMU is applying back-pressure: the requester
+// must not issue new translations until OnUnblocked fires.
+func (m *MMU) Stalled() bool { return m.stalled }
+
+// Translate requests the VA→PA translation for va; done fires when the
+// physical entry is available. The entry's frame is the page base — the
+// caller applies the page offset. Translate must not be called while
+// Stalled() is true.
+func (m *MMU) Translate(va vm.VirtAddr, done func(e vm.Entry, now sim.Cycle)) {
+	if m.stalled {
+		panic("core: Translate called while stalled")
+	}
+	m.stats.Issued++
+	now := m.q.Now()
+	if m.cfg.Kind == Oracle {
+		m.stats.OracleHits++
+		m.stats.Latency.Add(0)
+		e, _, err := m.pt.Walk(va)
+		if err != nil {
+			m.fault(pending{va: va, issued: now, done: done}, now)
+			return
+		}
+		done(e, now)
+		return
+	}
+	p := pending{va: va, issued: now, done: done}
+	m.lookup(p)
+}
+
+func (m *MMU) lookup(p pending) {
+	frame, dev, hit := m.tlb.Lookup(p.va)
+	if hit {
+		m.stats.TLBHits++
+		lat := m.tlb.HitLatency()
+		m.q.After(sim.Cycle(lat), func(now sim.Cycle) {
+			m.stats.Latency.Add(float64(now - p.issued))
+			p.done(vm.Entry{Frame: frame, Size: m.cfg.PageSize, Device: dev}, now)
+		})
+		return
+	}
+	m.stats.TLBMisses++
+	// The miss is detected after the TLB probe; route to the walker pool
+	// after the probe latency.
+	m.q.After(sim.Cycle(m.tlb.HitLatency()), func(now sim.Cycle) {
+		m.submit(p)
+	})
+}
+
+func (m *MMU) submit(p pending) {
+	m.seq++
+	req := walker.Request{VA: p.va, Seq: m.seq}
+	stored := p
+	m.inFly[m.seq] = &stored
+	if !m.pool.Submit(req) {
+		delete(m.inFly, m.seq)
+		if !m.stalled {
+			m.stalled = true
+			m.stats.StallEnter++
+		}
+		m.blocked = append(m.blocked, p)
+	}
+}
+
+// prefetchNext issues a speculative walk for the page after va when a
+// walker is idle and the translation is not already cached. Faults on
+// speculative walks are dropped — the prefetcher must never trigger
+// demand paging.
+func (m *MMU) prefetchNext(va vm.VirtAddr) {
+	next := vm.PageBase(va, m.cfg.PageSize) + vm.VirtAddr(m.cfg.PageSize.Bytes())
+	if m.tlb.Contains(next) || m.pool.FreeWalkers() == 0 {
+		return
+	}
+	m.seq++
+	seq := m.seq
+	m.prefetch[seq] = struct{}{}
+	if !m.pool.Submit(walker.Request{VA: next, Seq: seq}) {
+		delete(m.prefetch, seq)
+		return
+	}
+	m.stats.Prefetches++
+}
+
+func (m *MMU) walkComplete(req walker.Request, e vm.Entry, now sim.Cycle) {
+	if _, speculative := m.prefetch[req.Seq]; speculative {
+		// The TLB fill in OnWalkDone was the entire point.
+		delete(m.prefetch, req.Seq)
+		return
+	}
+	p := m.inFly[req.Seq]
+	delete(m.inFly, req.Seq)
+	if p == nil {
+		panic(fmt.Sprintf("core: completion for unknown request seq %d", req.Seq))
+	}
+	m.stats.Latency.Add(float64(now - p.issued))
+	p.done(e, now)
+}
+
+func (m *MMU) walkFault(req walker.Request, now sim.Cycle) {
+	if _, speculative := m.prefetch[req.Seq]; speculative {
+		delete(m.prefetch, req.Seq)
+		return
+	}
+	p := m.inFly[req.Seq]
+	delete(m.inFly, req.Seq)
+	if p == nil {
+		panic(fmt.Sprintf("core: fault for unknown request seq %d", req.Seq))
+	}
+	m.fault(*p, now)
+}
+
+func (m *MMU) fault(p pending, now sim.Cycle) {
+	m.stats.Faults++
+	if m.OnFault == nil {
+		panic(fmt.Sprintf("core: unhandled page fault at VA %#x (no fault handler)", p.va))
+	}
+	m.OnFault(p.va, now, func() {
+		m.stats.Retries++
+		if m.cfg.Kind == Oracle {
+			e, _, err := m.pt.Walk(p.va)
+			if err != nil {
+				panic(fmt.Sprintf("core: fault handler did not map VA %#x", p.va))
+			}
+			m.stats.Latency.Add(float64(m.q.Now() - p.issued))
+			p.done(e, m.q.Now())
+			return
+		}
+		// Retried requests bypass the stall check: they re-enter via the
+		// blocked queue if the pool is still full.
+		m.lookup(p)
+	})
+}
+
+func (m *MMU) capacityFreed(now sim.Cycle) {
+	// Drain as many blocked requests as the pool will take, preserving
+	// order; release back-pressure when empty.
+	for len(m.blocked) > 0 {
+		p := m.blocked[0]
+		m.seq++
+		stored := p
+		m.inFly[m.seq] = &stored
+		if !m.pool.Submit(walker.Request{VA: p.va, Seq: m.seq}) {
+			delete(m.inFly, m.seq)
+			return
+		}
+		copy(m.blocked, m.blocked[1:])
+		m.blocked = m.blocked[:len(m.blocked)-1]
+	}
+	if m.stalled {
+		m.stalled = false
+		if m.OnUnblocked != nil {
+			m.OnUnblocked(now)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package dma models the NPU's DMA unit: it decomposes a tile (a set of
+// tensor views) into linearized memory transactions, issues one address
+// translation per cycle to the MMU, and streams the translated reads into
+// the memory system. A tile's memory phase completes when the last data
+// byte lands in the scratchpad.
+//
+// This is the component whose behaviour motivates the whole paper: tiles
+// are multi-megabyte multi-dimensional tensors, so a single tile fetch
+// explodes into thousands of per-page transactions whose translations
+// arrive at the MMU as a dense burst (§III-C, Figs 6 and 7).
+package dma
+
+import (
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/sim"
+	"neummu/internal/stats"
+	"neummu/internal/tensor"
+	"neummu/internal/vm"
+)
+
+// Transaction is one page-confined memory transaction.
+type Transaction struct {
+	VA    vm.VirtAddr
+	Bytes int64
+}
+
+// DefaultBurst is the DMA's maximum transaction size. Contiguous runs
+// larger than this split into multiple transactions, so a dense page is
+// covered by several same-page transactions — the intra-tile translation
+// locality that the PRMB merges (§IV-A: the number of translations
+// invoked "can be much larger than the number of pages accessed").
+const DefaultBurst = 1024
+
+// SplitSegments decomposes segments into transactions: each maximal
+// contiguous run is cut at page boundaries and at the DMA burst size
+// (burst ≤ 0 selects DefaultBurst). Every resulting piece requires exactly
+// one address translation.
+func SplitSegments(segs []tensor.Segment, ps vm.PageSize, burst int64) []Transaction {
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	var txns []Transaction
+	for _, s := range segs {
+		va := s.VA
+		remaining := s.Bytes
+		for remaining > 0 {
+			pageEnd := vm.PageBase(va, ps) + vm.VirtAddr(ps.Bytes())
+			n := int64(pageEnd - va)
+			if n > remaining {
+				n = remaining
+			}
+			if n > burst {
+				n = burst
+			}
+			txns = append(txns, Transaction{VA: va, Bytes: n})
+			va += vm.VirtAddr(n)
+			remaining -= n
+		}
+	}
+	return txns
+}
+
+// TileStats summarizes one tile fetch (the per-tile rows behind Figs 6/7).
+type TileStats struct {
+	Transactions  int
+	DistinctPages int
+	Bytes         int64
+	Start, End    sim.Cycle
+	StallCycles   sim.Cycle // cycles the issue pipeline spent back-pressured
+}
+
+// Duration returns the tile's memory-phase length.
+func (ts TileStats) Duration() sim.Cycle { return ts.End - ts.Start }
+
+// Engine is the DMA unit. One Engine serves one NPU.
+type Engine struct {
+	q   *sim.Queue
+	mmu *core.MMU
+	mem *memsys.Memory
+
+	// Burst is the maximum transaction size in bytes (0 = DefaultBurst).
+	Burst int64
+	// Router, when non-nil, selects the memory serving a translated
+	// access by its owning device (NUMA: device 0 is local memory, other
+	// devices are reached over the system interconnect). Nil routes
+	// everything to the local memory.
+	Router func(device int) *memsys.Memory
+	// Timeline, when non-nil, records issued translations per window
+	// (Fig 7). VATrace, when non-nil, receives every issued VA (Fig 14).
+	Timeline *stats.TimeSeries
+	VATrace  func(va vm.VirtAddr, now sim.Cycle)
+
+	pageDivergence stats.Dist // distinct pages per tile (Fig 6)
+	tiles          int
+	totalTxns      int64
+	onUnblock      func(now sim.Cycle) // active tile's resume hook
+}
+
+// New builds a DMA engine over the given MMU and memory system. The engine
+// installs itself as the MMU's back-pressure listener; only one tile fetch
+// may be in flight at a time (the DMA serializes tile fetches, §II-A).
+func New(q *sim.Queue, mmu *core.MMU, mem *memsys.Memory) *Engine {
+	e := &Engine{q: q, mmu: mmu, mem: mem}
+	mmu.OnUnblocked = func(now sim.Cycle) {
+		if e.onUnblock != nil {
+			e.onUnblock(now)
+		}
+	}
+	return e
+}
+
+// PageDivergence returns the distribution of distinct pages touched per
+// tile fetch.
+func (e *Engine) PageDivergence() stats.Dist { return e.pageDivergence }
+
+// Tiles returns the number of tile fetches issued.
+func (e *Engine) Tiles() int { return e.tiles }
+
+// Transactions returns the total transaction count across all tiles.
+func (e *Engine) Transactions() int64 { return e.totalTxns }
+
+// FetchViews fetches the given tensor views as one tile: the views'
+// segments are page-split, translated, and read. done fires with the
+// tile's statistics when the last byte arrives.
+func (e *Engine) FetchViews(views []tensor.View, done func(TileStats)) {
+	var segs []tensor.Segment
+	for _, v := range views {
+		segs = append(segs, v.Segments()...)
+	}
+	e.FetchSegments(segs, done)
+}
+
+// FetchSegments fetches raw segments as one tile (used by the embedding
+// gather path, whose accesses do not come from rectangular views).
+func (e *Engine) FetchSegments(segs []tensor.Segment, done func(TileStats)) {
+	ps := e.mmu.Config().PageSize
+	txns := SplitSegments(segs, ps, e.Burst)
+	e.fetch(txns, ps, done)
+}
+
+func (e *Engine) fetch(txns []Transaction, ps vm.PageSize, done func(TileStats)) {
+	ts := TileStats{
+		Transactions: len(txns),
+		Start:        e.q.Now(),
+	}
+	pages := map[uint64]struct{}{}
+	for _, t := range txns {
+		ts.Bytes += t.Bytes
+		pages[vm.PageNumber(t.VA, ps)] = struct{}{}
+	}
+	ts.DistinctPages = len(pages)
+	e.tiles++
+	e.totalTxns += int64(len(txns))
+	e.pageDivergence.Add(float64(ts.DistinctPages))
+
+	if len(txns) == 0 {
+		done(ts)
+		return
+	}
+
+	remaining := len(txns)
+	next := 0
+	var stallStart sim.Cycle = -1
+
+	complete := func(now sim.Cycle) {
+		remaining--
+		if remaining == 0 {
+			ts.End = now
+			e.onUnblock = nil
+			done(ts)
+		}
+	}
+
+	var issue func(now sim.Cycle)
+	issue = func(now sim.Cycle) {
+		if next >= len(txns) {
+			return
+		}
+		if e.mmu.Stalled() {
+			// Resume via the engine's unblock hook; account the stall.
+			stallStart = now
+			return
+		}
+		t := txns[next]
+		next++
+		if e.Timeline != nil {
+			e.Timeline.Record(int64(now), 1)
+		}
+		if e.VATrace != nil {
+			e.VATrace(t.VA, now)
+		}
+		e.mmu.Translate(t.VA, func(entry vm.Entry, at sim.Cycle) {
+			pa := entry.Frame + vm.PhysAddr(vm.PageOffset(t.VA, entry.Size))
+			mem := e.mem
+			if e.Router != nil {
+				if m := e.Router(entry.Device); m != nil {
+					mem = m
+				}
+			}
+			mem.Access(pa, t.Bytes, complete)
+		})
+		if next < len(txns) {
+			e.q.After(1, issue) // one translation per cycle (§III-C)
+		}
+	}
+	e.onUnblock = func(now sim.Cycle) {
+		if stallStart >= 0 {
+			ts.StallCycles += now - stallStart
+			stallStart = -1
+		}
+		issue(now)
+	}
+	e.q.After(0, issue)
+}

@@ -1,0 +1,184 @@
+// Package embeddings defines the paper's two sparse recommendation-system
+// workloads (§II-C, §V): the MLPerf neural collaborative filtering model
+// (NCF) and Facebook's deep learning recommendation model (DLRM). Both
+// consist of an embedding-lookup frontend — a gather with very low
+// temporal and spatial locality over multi-gigabyte tables (Fig 4) —
+// followed by dense MLP layers.
+//
+// Lookup traces are generated from a seeded Zipf distribution: production
+// recommendation traffic is heavily skewed toward popular users/items, and
+// the skew is what lets demand-paged pages be reused across a batch.
+package embeddings
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neummu/internal/vm"
+)
+
+// Table describes one embedding lookup table.
+type Table struct {
+	Name string
+	Rows int64
+	// LookupsPerSample is how many rows one inference sample gathers from
+	// this table (candidate items for NCF's item table, multi-hot feature
+	// pooling for DLRM).
+	LookupsPerSample int
+}
+
+// Config is a recommendation model: its embedding tables and MLP stack.
+type Config struct {
+	Name string
+	// Dim is the embedding vector width; ElemSize its element size.
+	Dim      int
+	ElemSize int
+	Tables   []Table
+	// BottomMLP processes dense features before interaction (DLRM only);
+	// TopMLP scores the interacted features. Entries are layer widths.
+	BottomMLP []int
+	TopMLP    []int
+	// Seed drives trace generation; ZipfS is the skew exponent.
+	Seed  int64
+	ZipfS float64
+}
+
+// VectorBytes returns one embedding vector's size.
+func (c Config) VectorBytes() int64 { return int64(c.Dim) * int64(c.ElemSize) }
+
+// LookupsPerSample returns the total gathers one sample performs.
+func (c Config) LookupsPerSample() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += t.LookupsPerSample
+	}
+	return n
+}
+
+// TableBytes returns the total embedding-table footprint: the paper's
+// motivating "tens to hundreds of GBs" (§III-A).
+func (c Config) TableBytes() int64 {
+	var rows int64
+	for _, t := range c.Tables {
+		rows += t.Rows
+	}
+	return rows * c.VectorBytes()
+}
+
+// NCF returns the MLPerf neural collaborative filtering configuration:
+// user and item tables, with each inference scoring a slate of candidate
+// items for one user.
+func NCF() Config {
+	return Config{
+		Name:     "NCF",
+		Dim:      64,
+		ElemSize: 4,
+		Tables: []Table{
+			{Name: "user", Rows: 30_000_000, LookupsPerSample: 1},
+			{Name: "item", Rows: 8_000_000, LookupsPerSample: 256},
+		},
+		TopMLP: []int{256, 128, 64, 1},
+		Seed:   1,
+		ZipfS:  1.15,
+	}
+}
+
+// DLRM returns the Facebook deep learning recommendation model
+// configuration: eight sparse-feature tables with multi-hot pooling plus
+// bottom and top MLPs.
+func DLRM() Config {
+	tables := make([]Table, 8)
+	for i := range tables {
+		tables[i] = Table{
+			Name:             fmt.Sprintf("sparse%d", i),
+			Rows:             10_000_000,
+			LookupsPerSample: 32,
+		}
+	}
+	return Config{
+		Name:      "DLRM",
+		Dim:       64,
+		ElemSize:  4,
+		Tables:    tables,
+		BottomMLP: []int{512, 256, 64},
+		TopMLP:    []int{512, 256, 1},
+		Seed:      2,
+		ZipfS:     1.1,
+	}
+}
+
+// ByName returns the configuration with the given name.
+func ByName(name string) (Config, error) {
+	switch name {
+	case "NCF", "ncf":
+		return NCF(), nil
+	case "DLRM", "dlrm":
+		return DLRM(), nil
+	}
+	return Config{}, fmt.Errorf("embeddings: unknown model %q", name)
+}
+
+// Lookup is one embedding gather in a trace.
+type Lookup struct {
+	Table int
+	Row   int64
+}
+
+// Trace generates the seeded lookup trace for a batch of samples. The
+// result is ordered sample-major then table-major, matching the gather
+// order of the embedding kernel.
+func (c Config) Trace(batch int) []Lookup {
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipfs := make([]*rand.Zipf, len(c.Tables))
+	for i, t := range c.Tables {
+		s := c.ZipfS
+		if s <= 1 {
+			s = 1.01
+		}
+		zipfs[i] = rand.NewZipf(rng, s, 1, uint64(t.Rows-1))
+	}
+	var out []Lookup
+	for b := 0; b < batch; b++ {
+		for ti, t := range c.Tables {
+			for l := 0; l < t.LookupsPerSample; l++ {
+				out = append(out, Lookup{Table: ti, Row: int64(zipfs[ti].Uint64())})
+			}
+		}
+	}
+	return out
+}
+
+// Layout places every table in a virtual address space and returns the
+// per-table regions. Tables are only *addressed* here — pages are mapped
+// lazily by the NUMA system model, because mapping multi-gigabyte tables
+// eagerly would be wasteful when a trace touches a few hundred pages.
+func (c Config) Layout(space *vm.Space) []vm.Region {
+	regions := make([]vm.Region, len(c.Tables))
+	for i, t := range c.Tables {
+		regions[i] = space.Alloc(c.Name+"/"+t.Name, uint64(t.Rows*c.VectorBytes()))
+	}
+	return regions
+}
+
+// RowVA returns the virtual address of a row in a laid-out table.
+func (c Config) RowVA(regions []vm.Region, l Lookup) vm.VirtAddr {
+	return regions[l.Table].Base + vm.VirtAddr(l.Row*c.VectorBytes())
+}
+
+// MLPMacs returns the multiply-accumulate count of the model's dense
+// phase for one sample, used by the compute model for Fig 15's GEMM bar.
+func (c Config) MLPMacs() int64 {
+	var macs int64
+	add := func(widths []int, in int) {
+		for _, w := range widths {
+			macs += int64(in) * int64(w)
+			in = w
+		}
+	}
+	// Interaction output feeds the top MLP: concatenated embeddings.
+	add(c.TopMLP, c.Dim*len(c.Tables))
+	if len(c.BottomMLP) > 0 {
+		add(c.BottomMLP, 13) // DLRM dense features
+	}
+	return macs
+}

@@ -1,0 +1,108 @@
+package embeddings
+
+import (
+	"testing"
+
+	"neummu/internal/vm"
+)
+
+func TestConfigs(t *testing.T) {
+	ncf := NCF()
+	if len(ncf.Tables) != 2 || ncf.Dim != 64 {
+		t.Fatalf("NCF = %+v", ncf)
+	}
+	dlrm := DLRM()
+	if len(dlrm.Tables) != 8 || len(dlrm.BottomMLP) == 0 {
+		t.Fatalf("DLRM = %+v", dlrm)
+	}
+	// The motivating property: tables are multi-GB (§III-A).
+	if ncf.TableBytes() < 1<<30 || dlrm.TableBytes() < 10<<30 {
+		t.Fatalf("table footprints too small: NCF %d, DLRM %d",
+			ncf.TableBytes(), dlrm.TableBytes())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"NCF", "ncf", "DLRM", "dlrm"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("wide-and-deep"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	c := NCF()
+	trace := c.Trace(4)
+	if len(trace) != 4*c.LookupsPerSample() {
+		t.Fatalf("trace length %d, want %d", len(trace), 4*c.LookupsPerSample())
+	}
+	for _, l := range trace {
+		if l.Table < 0 || l.Table >= len(c.Tables) {
+			t.Fatalf("bad table %d", l.Table)
+		}
+		if l.Row < 0 || l.Row >= c.Tables[l.Table].Rows {
+			t.Fatalf("row %d out of range", l.Row)
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a, b := DLRM().Trace(8), DLRM().Trace(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestTraceIsSkewed(t *testing.T) {
+	// Zipf traffic: a small set of hot rows dominates. Count distinct rows
+	// in the item table across a large batch — far fewer than lookups.
+	c := NCF()
+	trace := c.Trace(64)
+	distinct := map[int64]struct{}{}
+	total := 0
+	for _, l := range trace {
+		if l.Table == 1 {
+			distinct[l.Row] = struct{}{}
+			total++
+		}
+	}
+	if len(distinct) >= total/2 {
+		t.Fatalf("%d distinct of %d lookups: trace not skewed", len(distinct), total)
+	}
+}
+
+func TestLayoutAndRowVA(t *testing.T) {
+	c := NCF()
+	space := vm.NewSpace(0x1000_0000, vm.Page4K)
+	regions := c.Layout(space)
+	if len(regions) != 2 {
+		t.Fatalf("%d regions", len(regions))
+	}
+	va := c.RowVA(regions, Lookup{Table: 1, Row: 5})
+	want := regions[1].Base + vm.VirtAddr(5*c.VectorBytes())
+	if va != want {
+		t.Fatalf("RowVA = %#x, want %#x", va, want)
+	}
+	// Last row stays inside its region.
+	last := c.RowVA(regions, Lookup{Table: 0, Row: c.Tables[0].Rows - 1})
+	if !regions[0].Contains(last) {
+		t.Fatal("last row escapes its region")
+	}
+}
+
+func TestMLPMacsPositive(t *testing.T) {
+	if NCF().MLPMacs() <= 0 || DLRM().MLPMacs() <= NCF().MLPMacs() {
+		t.Fatalf("MLP MACs: NCF %d, DLRM %d", NCF().MLPMacs(), DLRM().MLPMacs())
+	}
+}
+
+func TestVectorBytes(t *testing.T) {
+	if NCF().VectorBytes() != 256 {
+		t.Fatalf("vector = %d bytes, want 256", NCF().VectorBytes())
+	}
+}

@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/npu"
+	"neummu/internal/tlb"
+	"neummu/internal/walker"
+)
+
+func fakeResult(kind core.Kind, walkMem, tlbLookups, merges int64) *npu.Result {
+	return &npu.Result{
+		MMUKind: kind,
+		Walker: walker.Stats{
+			WalkMemAccesses: walkMem,
+			PRMBWrites:      merges,
+			PRMBReads:       merges,
+			PTSLookups:      tlbLookups,
+		},
+		TLB: tlb.Stats{Lookups: tlbLookups},
+	}
+}
+
+func TestOracleHasNoTranslationEnergy(t *testing.T) {
+	b := Translation(fakeResult(core.Oracle, 1000, 1000, 0), Default45nm())
+	if b.Total() != 0 {
+		t.Fatalf("oracle energy = %v", b.Total())
+	}
+}
+
+func TestWalkDRAMDominates(t *testing.T) {
+	// With realistic constants, DRAM accesses dwarf SRAM structures —
+	// this is why PRMB+TPreg (which cut walk DRAM traffic) matter.
+	b := Translation(fakeResult(core.NeuMMU, 10000, 10000, 10000), Default45nm())
+	if b.WalkDRAM < 0.8*b.Total() {
+		t.Fatalf("walk DRAM share = %v of %v, expected dominance", b.WalkDRAM, b.Total())
+	}
+}
+
+func TestRedundantWalksCostMoreEnergy(t *testing.T) {
+	// Baseline IOMMU walks 4× more (redundant walks): energy ratio ≈ 4.
+	io := Translation(fakeResult(core.IOMMU, 40000, 10000, 0), Default45nm())
+	neu := Translation(fakeResult(core.NeuMMU, 10000, 10000, 7500), Default45nm())
+	r := Ratio(io, neu)
+	if r < 3 || r > 5 {
+		t.Fatalf("energy ratio = %v, want ≈4", r)
+	}
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	if Ratio(Breakdown{WalkDRAM: 5}, Breakdown{}) != 0 {
+		t.Fatal("zero-denominator ratio must be 0")
+	}
+}
+
+func TestBreakdownTotalSumsFields(t *testing.T) {
+	b := Breakdown{WalkDRAM: 1, TLB: 2, PTS: 3, PRMB: 4, TPreg: 5}
+	if b.Total() != 15 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"neummu/internal/core"
+	"neummu/internal/npu"
+	"neummu/internal/spatial"
+	"neummu/internal/systolic"
+	"neummu/internal/vm"
+)
+
+// DataflowRow compares NPU compute organizations (§VI-B: "the implication
+// of alternative NPU architectures and DNN dataflows on our MMU
+// proposal"): weight-stationary systolic (TPU-style), output-stationary
+// systolic, and the spatial vector-PE grid. The MMU story must hold for
+// all of them, because all share the SPM-centric DMA path.
+type DataflowRow struct {
+	Dataflow string
+	Model    string
+	Batch    int
+	IOMMU    float64
+	NeuMMU   float64
+}
+
+// DataflowStudy evaluates the three compute organizations across the
+// suite, normalizing each against its own oracle (the compute model
+// changes the denominator too).
+func (h *Harness) DataflowStudy() ([]DataflowRow, error) {
+	computes := []npu.ComputeModel{
+		systolic.Baseline(),
+		systolic.OSBaseline(),
+		spatial.Baseline(),
+	}
+	var rows []DataflowRow
+	for _, cm := range computes {
+		err := h.ForEach(func(model string, batch int) error {
+			plan, err := h.plan(model, batch)
+			if err != nil {
+				return err
+			}
+			run := func(kind core.Kind) (*npu.Result, error) {
+				cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
+				if kind == core.Oracle {
+					cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
+				}
+				cfg.Compute = cm
+				return npu.Run(plan, cfg)
+			}
+			oracle, err := run(core.Oracle)
+			if err != nil {
+				return err
+			}
+			io, err := run(core.IOMMU)
+			if err != nil {
+				return err
+			}
+			neu, err := run(core.NeuMMU)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, DataflowRow{
+				Dataflow: cm.Name(), Model: model, Batch: batch,
+				IOMMU:  io.NormalizedPerf(oracle),
+				NeuMMU: neu.NormalizedPerf(oracle),
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

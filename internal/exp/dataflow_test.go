@@ -1,0 +1,30 @@
+package exp
+
+import "testing"
+
+func TestDataflowStudyCoversAllOrganizations(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.DataflowStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFlow := map[string][]DataflowRow{}
+	for _, r := range rows {
+		byFlow[r.Dataflow] = append(byFlow[r.Dataflow], r)
+	}
+	if len(byFlow) != 3 {
+		t.Fatalf("%d dataflows, want 3 (WS, OS, spatial)", len(byFlow))
+	}
+	// §VI-B's conclusion must hold for every organization: NeuMMU closes
+	// the IOMMU's gap regardless of how the compute phase is produced.
+	for flow, rs := range byFlow {
+		for _, r := range rs {
+			if r.NeuMMU < 0.9 {
+				t.Errorf("%s %s b%02d: NeuMMU perf %v < 0.9", flow, r.Model, r.Batch, r.NeuMMU)
+			}
+			if r.IOMMU >= r.NeuMMU {
+				t.Errorf("%s %s b%02d: IOMMU %v ≥ NeuMMU %v", flow, r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+			}
+		}
+	}
+}

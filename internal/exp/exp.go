@@ -1,0 +1,277 @@
+// Package exp is the experiment harness: one function per table or figure
+// in the paper's evaluation, each returning typed rows that the
+// cmd/paperfigs tool renders and the repository's benchmarks re-measure.
+//
+// Every performance number is normalized against an oracle run of the
+// identical workload schedule, so the RepeatCap/TileCap truncation knobs
+// (which keep the big sweeps tractable, mirroring the paper's own
+// "intractable simulation time" truncations in §II-C and §VI-C) cancel
+// out of all reported ratios.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/npu"
+	"neummu/internal/systolic"
+	"neummu/internal/tlb"
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+	"neummu/internal/workloads"
+)
+
+// Options tunes harness effort.
+type Options struct {
+	// Models lists paper aliases to evaluate (default: the full dense
+	// suite CNN-1..RNN-3).
+	Models []string
+	// Batches lists batch sizes (default 1, 4, 8 as in the paper).
+	Batches []int
+	// RepeatCap / TileCap truncate repeated layers and per-layer tiles;
+	// zero keeps the harness defaults (3 and 0).
+	RepeatCap int
+	TileCap   int
+	// Quick shrinks the sweep for benchmark iterations: CNN-1 and RNN-1
+	// only, batch 4, capped tiles.
+	Quick bool
+}
+
+func (o Options) normalized() Options {
+	if o.Quick {
+		if len(o.Models) == 0 {
+			o.Models = []string{"CNN-1", "RNN-1"}
+		}
+		if len(o.Batches) == 0 {
+			o.Batches = []int{4}
+		}
+		if o.RepeatCap == 0 {
+			o.RepeatCap = 2
+		}
+		if o.TileCap == 0 {
+			o.TileCap = 6
+		}
+		return o
+	}
+	if len(o.Models) == 0 {
+		o.Models = []string{"CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"}
+	}
+	if len(o.Batches) == 0 {
+		o.Batches = []int{1, 4, 8}
+	}
+	if o.RepeatCap == 0 {
+		o.RepeatCap = 3
+	}
+	return o
+}
+
+// Harness runs simulations with memoized oracle baselines. All methods
+// are safe for concurrent use: plans and oracle runs are computed once
+// under a per-key lock and shared (plans are read-only after building).
+type Harness struct {
+	opts Options
+
+	mu     sync.Mutex
+	oracle map[string]*npu.Result
+	plans  map[string]*workloads.Plan
+	locks  map[string]*sync.Mutex // per-key build locks
+}
+
+// New returns a harness with the given options.
+func New(opts Options) *Harness {
+	return &Harness{
+		opts:   opts.normalized(),
+		oracle: make(map[string]*npu.Result),
+		plans:  make(map[string]*workloads.Plan),
+		locks:  make(map[string]*sync.Mutex),
+	}
+}
+
+// Options returns the normalized options.
+func (h *Harness) Options() Options { return h.opts }
+
+// keyLock returns the build lock for a cache key, so concurrent callers
+// needing the same plan or oracle run compute it exactly once without
+// serializing unrelated work.
+func (h *Harness) keyLock(key string) *sync.Mutex {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l, ok := h.locks[key]
+	if !ok {
+		l = &sync.Mutex{}
+		h.locks[key] = l
+	}
+	return l
+}
+
+func (h *Harness) plan(model string, batch int) (*workloads.Plan, error) {
+	key := fmt.Sprintf("plan/%s/b%d", model, batch)
+	l := h.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	h.mu.Lock()
+	p, ok := h.plans[key]
+	h.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	m, err := workloads.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	p, err = workloads.BuildPlan(m, batch, workloads.DefaultTiles())
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.plans[key] = p
+	h.mu.Unlock()
+	return p, nil
+}
+
+func (h *Harness) npuConfig(mmu core.Config) npu.Config {
+	return npu.Config{
+		MMU:       mmu,
+		Memory:    memsys.Baseline(),
+		Compute:   systolic.Baseline(),
+		RepeatCap: h.opts.RepeatCap,
+		TileCap:   h.opts.TileCap,
+	}
+}
+
+// Run executes one (model, batch, MMU config) simulation.
+func (h *Harness) Run(model string, batch int, mmu core.Config) (*npu.Result, error) {
+	plan, err := h.plan(model, batch)
+	if err != nil {
+		return nil, err
+	}
+	return npu.Run(plan, h.npuConfig(mmu))
+}
+
+// Oracle returns the memoized oracle run for (model, batch, pageSize).
+func (h *Harness) Oracle(model string, batch int, ps vm.PageSize) (*npu.Result, error) {
+	key := fmt.Sprintf("oracle/%s/b%d/%s", model, batch, ps)
+	l := h.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	h.mu.Lock()
+	r, ok := h.oracle[key]
+	h.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := h.Run(model, batch, core.Config{Kind: core.Oracle, PageSize: ps})
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.oracle[key] = r
+	h.mu.Unlock()
+	return r, nil
+}
+
+// NormPerf runs the configuration and returns its performance normalized
+// to the oracle on the identical schedule.
+func (h *Harness) NormPerf(model string, batch int, mmu core.Config) (float64, *npu.Result, error) {
+	res, err := h.Run(model, batch, mmu)
+	if err != nil {
+		return 0, nil, err
+	}
+	oracle, err := h.Oracle(model, batch, mmu.PageSize)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.NormalizedPerf(oracle), res, nil
+}
+
+// customMMU builds a Custom MMU config for sweeps: baseline TLB plus the
+// given walker shape.
+func customMMU(ps vm.PageSize, ptws, prmb int, usePTS bool, path walker.PathKind, tlbEntries int) core.Config {
+	t := tlb.Baseline(ps)
+	if tlbEntries > 0 {
+		t.Entries = tlbEntries
+	}
+	return core.Config{
+		Kind:     core.Custom,
+		PageSize: ps,
+		TLB:      t,
+		Walker: walker.Config{
+			NumPTWs:       ptws,
+			PRMBSlots:     prmb,
+			UsePTS:        usePTS,
+			LevelLatency:  100,
+			Path:          path,
+			PageSize:      ps,
+			DrainPerCycle: true,
+		},
+	}
+}
+
+// ForEach iterates the configured (model, batch) grid sequentially.
+func (h *Harness) ForEach(fn func(model string, batch int) error) error {
+	for _, m := range h.opts.Models {
+		for _, b := range h.opts.Batches {
+			if err := fn(m, b); err != nil {
+				return fmt.Errorf("%s b%02d: %w", m, b, err)
+			}
+		}
+	}
+	return nil
+}
+
+// NormPerfGrid evaluates one MMU configuration over the whole
+// (model, batch) grid concurrently — the sweeps' inner loop — and returns
+// rows in deterministic grid order. Worker count is bounded by
+// GOMAXPROCS; simulations are independent (each builds its own page
+// tables and event queue) so only the harness caches need locking.
+func (h *Harness) NormPerfGrid(cfg core.Config) ([]NormPerfRow, []*npu.Result, error) {
+	type cell struct {
+		model string
+		batch int
+	}
+	var cells []cell
+	for _, m := range h.opts.Models {
+		for _, b := range h.opts.Batches {
+			cells = append(cells, cell{m, b})
+		}
+	}
+	rows := make([]NormPerfRow, len(cells))
+	results := make([]*npu.Result, len(cells))
+	errs := make([]error, len(cells))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				perf, res, err := h.NormPerf(cells[i].model, cells[i].batch, cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s b%02d: %w", cells[i].model, cells[i].batch, err)
+					continue
+				}
+				rows[i] = NormPerfRow{Model: cells[i].model, Batch: cells[i].batch, Perf: perf}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return rows, results, nil
+}

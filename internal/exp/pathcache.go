@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+)
+
+// PathCacheRow compares the translation-path caching microarchitectures
+// of §IV-C: no caching, the per-walker TPreg, an Intel-style shared TPC,
+// and an AMD-style unified page-table cache (UPTC).
+type PathCacheRow struct {
+	Kind walker.PathKind
+	// L4/L3/L2 are suite-average tag-match rates; WalkMemPerWalk is the
+	// average page-table node reads per walk (4.0 with no caching).
+	L4, L3, L2     float64
+	WalkMemPerWalk float64
+	Perf           float64
+}
+
+// PathCacheStudy reproduces the §IV-C design-space comparison. The paper
+// reports TPC tag hit rates of 99.5/99.5/63.1 % versus 92.4 % for UPTC,
+// concluding that a single path register per walker captures most of the
+// benefit — the TPreg proposal.
+func (h *Harness) PathCacheStudy() ([]PathCacheRow, error) {
+	kinds := []walker.PathKind{walker.PathNone, walker.PathTPreg, walker.PathTPC, walker.PathUPTC}
+	var rows []PathCacheRow
+	for _, kind := range kinds {
+		cfg := customMMU(vm.Page4K, 128, 32, true, kind, 0)
+		var agg PathCacheRow
+		agg.Kind = kind
+		var l4, l3, l2, perf float64
+		var walks, mem int64
+		n := 0
+		err := h.ForEach(func(model string, batch int) error {
+			p, res, err := h.NormPerf(model, batch, cfg)
+			if err != nil {
+				return err
+			}
+			rl4, rl3, rl2 := res.Path.Rates()
+			l4 += rl4
+			l3 += rl3
+			l2 += rl2
+			perf += p
+			walks += res.Walker.WalksStarted
+			mem += res.Walker.WalkMemAccesses
+			n++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg.L4, agg.L3, agg.L2 = l4/float64(n), l3/float64(n), l2/float64(n)
+		agg.Perf = perf / float64(n)
+		if walks > 0 {
+			agg.WalkMemPerWalk = float64(mem) / float64(walks)
+		}
+		rows = append(rows, agg)
+	}
+	return rows, nil
+}
+
+// MultiTenantRow is one point of the IOMMU-sharing study: the paper notes
+// (§IV-B) that the IOMMU is shared among accelerators and that walker
+// provisioning must leave headroom. We model a co-tenant that keeps a
+// fixed fraction of the walkers permanently busy and measure the NPU's
+// degradation.
+type MultiTenantRow struct {
+	StolenPTWs int
+	Perf       float64
+}
+
+// MultiTenant evaluates NeuMMU with part of the walker pool consumed by a
+// co-located accelerator.
+func (h *Harness) MultiTenant() ([]MultiTenantRow, error) {
+	fractions := []int{0, 32, 64, 96, 112, 120, 124, 126}
+	if h.opts.Quick {
+		fractions = []int{0, 112, 126}
+	}
+	var rows []MultiTenantRow
+	for _, stolen := range fractions {
+		cfg := customMMU(vm.Page4K, 128-stolen, 32, true, walker.PathTPreg, 0)
+		sum := 0.0
+		n := 0
+		err := h.ForEach(func(model string, batch int) error {
+			p, _, err := h.NormPerf(model, batch, cfg)
+			if err != nil {
+				return err
+			}
+			sum += p
+			n++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MultiTenantRow{StolenPTWs: stolen, Perf: sum / float64(n)})
+	}
+	return rows, nil
+}
+
+// BurstThrottleRow is one point of the §III-C counter-argument study: a
+// DMA that limits its issue rate to restore TLB effectiveness also
+// destroys memory-level parallelism.
+type BurstThrottleRow struct {
+	IssueInterval int // cycles between translations
+	Perf          float64
+}
+
+// BurstThrottle evaluates the paper's rejected alternative: throttling the
+// DMA so the baseline IOMMU can keep up. Implemented by scaling the
+// workload's effective issue rate through the walker queue depth.
+func (h *Harness) BurstThrottle() ([]BurstThrottleRow, error) {
+	// Model throttling as shrinking the IOMMU's pending queue: a depth-1
+	// queue admits one outstanding miss, serializing translations the way
+	// an issue-throttled DMA would.
+	depths := []int{1, 4, 16, 64}
+	if h.opts.Quick {
+		depths = []int{1, 16}
+	}
+	var rows []BurstThrottleRow
+	for _, d := range depths {
+		cfg := customMMU(vm.Page4K, 8, 0, false, walker.PathNone, 0)
+		cfg.Walker.QueueDepth = d
+		sum := 0.0
+		n := 0
+		err := h.ForEach(func(model string, batch int) error {
+			p, _, err := h.NormPerf(model, batch, cfg)
+			if err != nil {
+				return err
+			}
+			sum += p
+			n++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BurstThrottleRow{IssueInterval: d, Perf: sum / float64(n)})
+	}
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"testing"
+
+	"neummu/internal/walker"
+)
+
+func TestPathCacheStudy(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.PathCacheStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[walker.PathKind]PathCacheRow{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	none := byKind[walker.PathNone]
+	tpreg := byKind[walker.PathTPreg]
+	tpc := byKind[walker.PathTPC]
+	uptc := byKind[walker.PathUPTC]
+
+	if none.WalkMemPerWalk != 4.0 {
+		t.Fatalf("no caching must read 4 levels per walk, got %v", none.WalkMemPerWalk)
+	}
+	for _, r := range []PathCacheRow{tpreg, tpc, uptc} {
+		if r.WalkMemPerWalk >= none.WalkMemPerWalk {
+			t.Fatalf("%v did not cut walk traffic: %v", r.Kind, r.WalkMemPerWalk)
+		}
+	}
+	// §IV-C: the single TPreg captures most of what a full TPC provides.
+	if tpreg.WalkMemPerWalk > tpc.WalkMemPerWalk*1.5 {
+		t.Fatalf("TPreg (%v reads/walk) far behind TPC (%v): the paper's point fails",
+			tpreg.WalkMemPerWalk, tpc.WalkMemPerWalk)
+	}
+	if tpreg.L4 < 0.9 {
+		t.Fatalf("TPreg L4 rate = %v, want ≥ 0.9", tpreg.L4)
+	}
+}
+
+func TestMultiTenantDegradesGracefully(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.MultiTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.StolenPTWs != 0 || last.StolenPTWs <= first.StolenPTWs {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	if last.Perf > first.Perf {
+		t.Fatalf("stealing walkers improved performance: %+v", rows)
+	}
+	// With only 16 walkers left the NPU must still beat the 8-PTW
+	// baseline IOMMU thanks to PRMB+TPreg.
+	if last.Perf < 0.3 {
+		t.Fatalf("16 remaining walkers collapse to %v", last.Perf)
+	}
+}
+
+func TestBurstThrottleHurts(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.BurstThrottle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serializing misses (depth 1) must not beat the deeper queue: the
+	// paper's argument that throttling the DMA is no fix.
+	if rows[0].Perf > rows[len(rows)-1].Perf+0.05 {
+		t.Fatalf("throttled issue outperformed deep queue: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Perf > 0.6 {
+			t.Fatalf("throttled baseline reached %v of oracle — should stay far below", r.Perf)
+		}
+	}
+}

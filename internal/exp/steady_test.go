@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"testing"
+
+	"neummu/internal/numa"
+)
+
+func TestSteadyStateWarmsUp(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by (model, mode); first iteration must fault most.
+	type key struct {
+		model string
+		mode  numa.Mode
+	}
+	first := map[key]SteadyRow{}
+	last := map[key]SteadyRow{}
+	for _, r := range rows {
+		k := key{r.Model, r.Mode}
+		if r.Iteration == 0 {
+			first[k] = r
+		}
+		if r.Iteration > last[k].Iteration {
+			last[k] = r
+		}
+	}
+	for k, f := range first {
+		l := last[k]
+		if l.Faults >= f.Faults {
+			t.Fatalf("%v: warm faults %d ≥ cold %d", k, l.Faults, f.Faults)
+		}
+		if l.GatherCycles >= f.GatherCycles {
+			t.Fatalf("%v: warm gather %d ≥ cold %d", k, l.GatherCycles, f.GatherCycles)
+		}
+	}
+	// Mosaic must actually promote something on at least one model.
+	promoted := false
+	for _, r := range rows {
+		if r.Mode == numa.DemandPagingMosaic && r.Promotions > 0 {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Fatal("mosaic never promoted a region")
+	}
+}
+
+func TestOversubscriptionCurve(t *testing.T) {
+	h := quickHarness()
+	rows, err := h.Oversubscription()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].CapacityPages != 0 {
+		t.Fatal("first row should be unbounded")
+	}
+	if rows[0].Evictions != 0 {
+		t.Fatal("unbounded capacity evicted pages")
+	}
+	tightest := rows[len(rows)-1]
+	if tightest.Evictions == 0 {
+		t.Fatal("tightest capacity never evicted")
+	}
+	if tightest.WarmFaults <= rows[0].WarmFaults {
+		t.Fatalf("thrashing warm faults %d not above unbounded %d",
+			tightest.WarmFaults, rows[0].WarmFaults)
+	}
+	if tightest.WarmGather <= rows[0].WarmGather {
+		t.Fatalf("thrashing warm gather %d not above unbounded %d",
+			tightest.WarmGather, rows[0].WarmGather)
+	}
+}

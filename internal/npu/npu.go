@@ -1,0 +1,220 @@
+// Package npu is the top-level NPU execution model: it runs a tiled
+// workload plan (internal/workloads) through the DMA/MMU/memory pipeline
+// (internal/dma, internal/core, internal/memsys) while overlapping each
+// tile's compute phase with the next tile's memory phase, exactly as the
+// paper's Figure 3 describes.
+//
+// Double-buffering semantics: tile n's compute phase may start once its
+// memory phase ends; tile n+1's memory phase starts as soon as the DMA is
+// free; tile n+2's memory phase additionally waits for tile n's compute
+// phase to release its scratchpad buffer.
+package npu
+
+import (
+	"fmt"
+
+	"neummu/internal/core"
+	"neummu/internal/dma"
+	"neummu/internal/memsys"
+	"neummu/internal/sim"
+	"neummu/internal/stats"
+	"neummu/internal/tlb"
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+	"neummu/internal/workloads"
+)
+
+// ComputeModel abstracts the compute-phase timing model so the systolic
+// baseline (§II-C) and the spatial alternative (§VI-B) plug in
+// interchangeably.
+type ComputeModel interface {
+	// TileCycles returns the compute-phase duration of an M×K×N GEMM tile.
+	TileCycles(m, k, n int64) int64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Config describes one NPU simulation.
+type Config struct {
+	MMU     core.Config
+	Memory  memsys.Config
+	Compute ComputeModel
+	// RepeatCap bounds how many instances of a repeated layer (RNN
+	// timesteps, repeated residual blocks) are simulated; 0 simulates all.
+	// Results are normalized against an oracle run of the *same truncated
+	// schedule*, so ratios are unaffected (see EXPERIMENTS.md).
+	RepeatCap int
+	// TileCap bounds tiles simulated per layer instance; 0 simulates all.
+	TileCap int
+	// Timeline, when positive, records translation issues per window of
+	// that many cycles (Fig 7).
+	TimelineWindow int64
+	// TraceVAs, when non-nil, receives every translated VA (Fig 14).
+	TraceVAs func(va vm.VirtAddr, now sim.Cycle)
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Model   string
+	Batch   int
+	Compute string
+	MMUKind core.Kind
+
+	// Cycles is the end-to-end execution time: the later of the last
+	// memory phase and the last compute phase.
+	Cycles sim.Cycle
+	// MemPhaseCycles sums the tile memory phases; ComputeCycles sums the
+	// tile compute phases (they overlap, so the sums exceed Cycles).
+	MemPhaseCycles sim.Cycle
+	ComputeCycles  sim.Cycle
+	StallCycles    sim.Cycle
+
+	Tiles          int
+	Translations   int64
+	BytesFetched   int64
+	PageDivergence stats.Dist
+
+	MMU    core.Stats
+	TLB    tlb.Stats
+	Walker walker.Stats
+	Path   walker.PathStats
+	Memory memsys.Stats
+
+	Timeline *stats.TimeSeries
+}
+
+// Overhead returns this result's performance overhead relative to an
+// oracle run: cycles/oracle - 1.
+func (r *Result) Overhead(oracle *Result) float64 {
+	if oracle.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles)/float64(oracle.Cycles) - 1
+}
+
+// NormalizedPerf returns oracle.Cycles / r.Cycles, the paper's
+// "performance normalized to an oracular MMU" metric.
+func (r *Result) NormalizedPerf(oracle *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(oracle.Cycles) / float64(r.Cycles)
+}
+
+// Run executes the plan on a fresh NPU instance described by cfg.
+func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
+	if cfg.Compute == nil {
+		return nil, fmt.Errorf("npu: no compute model configured")
+	}
+	ps := cfg.MMU.PageSize
+	if ps == 0 {
+		ps = vm.Page4K
+		cfg.MMU.PageSize = ps
+	}
+
+	// Back every tensor region with physical frames.
+	pt := vm.NewPageTable()
+	var footprint uint64
+	for _, r := range plan.Space.Regions() {
+		footprint += r.Size + ps.Bytes()
+	}
+	fa := vm.NewFrameAllocator(footprint+ps.Bytes(), ps, 0)
+	for _, r := range plan.Space.Regions() {
+		vm.MapRegion(pt, fa, r, ps)
+	}
+
+	q := &sim.Queue{}
+	mmu := core.New(cfg.MMU, pt, q)
+	mem := memsys.New(cfg.Memory, q)
+	eng := dma.New(q, mmu, mem)
+	if cfg.TimelineWindow > 0 {
+		eng.Timeline = stats.NewTimeSeries(cfg.TimelineWindow)
+	}
+	eng.VATrace = cfg.TraceVAs
+
+	res := &Result{
+		Model:   plan.Model,
+		Batch:   plan.Batch,
+		Compute: cfg.Compute.Name(),
+		MMUKind: cfg.MMU.Kind,
+	}
+
+	// computeDone[i] is when tile i's compute phase retires; the DMA may
+	// not start tile i+2's memory phase before computeDone[i] (its SPM
+	// buffer is still feeding the array until then).
+	var computeDone []sim.Cycle
+	tileIndex := 0
+
+	runTile := func(t workloads.Tile) error {
+		// Buffer dependency: wait for tile (index-2)'s compute phase.
+		if tileIndex >= 2 {
+			if ready := computeDone[tileIndex-2]; ready > q.Now() {
+				q.At(ready, func(sim.Cycle) {})
+				q.Run()
+			}
+		}
+		var ts dma.TileStats
+		fetched := false
+		eng.FetchViews(t.Views, func(s dma.TileStats) { ts, fetched = s, true })
+		q.Run()
+		if !fetched {
+			return fmt.Errorf("npu: tile fetch deadlocked (model %s)", plan.Model)
+		}
+		res.MemPhaseCycles += ts.Duration()
+		res.StallCycles += ts.StallCycles
+		res.Translations += int64(ts.Transactions)
+		res.BytesFetched += ts.Bytes
+
+		cc := sim.Cycle(cfg.Compute.TileCycles(t.M, t.K, t.N))
+		res.ComputeCycles += cc
+		start := ts.End
+		if tileIndex >= 1 && computeDone[tileIndex-1] > start {
+			start = computeDone[tileIndex-1]
+		}
+		computeDone = append(computeDone, start+cc)
+		tileIndex++
+		return nil
+	}
+
+	for _, layer := range plan.Layers {
+		times := layer.Times()
+		if cfg.RepeatCap > 0 && times > cfg.RepeatCap {
+			times = cfg.RepeatCap
+		}
+		tiles := layer.Tiles
+		if cfg.TileCap > 0 && len(tiles) > cfg.TileCap {
+			tiles = tiles[:cfg.TileCap]
+		}
+		for rep := 0; rep < times; rep++ {
+			for _, t := range tiles {
+				if err := runTile(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res.Cycles = q.Now()
+	if n := len(computeDone); n > 0 && computeDone[n-1] > res.Cycles {
+		res.Cycles = computeDone[n-1]
+	}
+	res.Tiles = tileIndex
+	res.PageDivergence = eng.PageDivergence()
+	res.MMU = mmu.Stats()
+	res.TLB = mmu.TLBStats()
+	res.Walker = mmu.WalkerStats()
+	res.Path = mmu.PathStats()
+	res.Memory = mem.Stats()
+	res.Timeline = eng.Timeline
+	return res, nil
+}
+
+// RunModel is the convenience entry point: it plans the model at the given
+// batch size with default tiling and runs it.
+func RunModel(m workloads.Model, batch int, cfg Config) (*Result, error) {
+	plan, err := workloads.BuildPlan(m, batch, workloads.DefaultTiles())
+	if err != nil {
+		return nil, err
+	}
+	return Run(plan, cfg)
+}

@@ -1,0 +1,214 @@
+package npu
+
+import (
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/spatial"
+	"neummu/internal/systolic"
+	"neummu/internal/vm"
+	"neummu/internal/workloads"
+)
+
+func baseCfg(kind core.Kind) Config {
+	return Config{
+		MMU:     core.ConfigFor(kind, vm.Page4K),
+		Memory:  memsys.Baseline(),
+		Compute: systolic.Baseline(),
+	}
+}
+
+func smallModel() workloads.Model {
+	return workloads.Model{Name: "tiny", Layers: []workloads.LayerSpec{
+		{Name: "conv", Kind: workloads.Conv, C: 64, H: 28, W: 28,
+			K: 128, R: 3, S: 3, Stride: 1, Pad: 1},
+		{Name: "fc", Kind: workloads.FC, M: 1, KDim: 1024, N: 2048},
+	}}
+}
+
+func TestRunCompletesAndAccounts(t *testing.T) {
+	res, err := RunModel(smallModel(), 1, baseCfg(core.Oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if res.Tiles <= 0 || res.Translations <= 0 || res.BytesFetched <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ComputeCycles <= 0 || res.MemPhaseCycles <= 0 {
+		t.Fatal("phase accounting missing")
+	}
+	if res.MMU.Issued != res.Translations {
+		t.Fatalf("MMU issued %d, DMA sent %d", res.MMU.Issued, res.Translations)
+	}
+}
+
+func TestOrderingOracleNeuMMUIOMMU(t *testing.T) {
+	m := smallModel()
+	oracle, err := RunModel(m, 4, baseCfg(core.Oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := RunModel(m, 4, baseCfg(core.NeuMMU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iommu, err := RunModel(m, 4, baseCfg(core.IOMMU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(oracle.Cycles <= neu.Cycles && neu.Cycles < iommu.Cycles) {
+		t.Fatalf("ordering violated: oracle=%d neummu=%d iommu=%d",
+			oracle.Cycles, neu.Cycles, iommu.Cycles)
+	}
+	if p := neu.NormalizedPerf(oracle); p < 0.5 || p > 1.0 {
+		t.Fatalf("NeuMMU normalized perf = %v, want (0.5, 1]", p)
+	}
+	if p := iommu.NormalizedPerf(oracle); p > 0.9 {
+		t.Fatalf("IOMMU normalized perf = %v, expected visible overhead", p)
+	}
+}
+
+func TestComputeOverlapsMemory(t *testing.T) {
+	// End-to-end cycles must be far less than the serial sum of phases
+	// when compute dominates (double-buffering works).
+	m := workloads.Model{Name: "computeheavy", Layers: []workloads.LayerSpec{
+		{Name: "conv", Kind: workloads.Conv, C: 256, H: 28, W: 28,
+			K: 512, R: 3, S: 3, Stride: 1, Pad: 1},
+	}}
+	res, err := RunModel(m, 8, baseCfg(core.Oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := res.MemPhaseCycles + res.ComputeCycles
+	if res.Cycles >= serial {
+		t.Fatalf("no overlap: end-to-end %d ≥ serial %d", res.Cycles, serial)
+	}
+}
+
+func TestRepeatCapTruncates(t *testing.T) {
+	m := workloads.RNN2()
+	cfgFull := baseCfg(core.Oracle)
+	cfgCapped := baseCfg(core.Oracle)
+	cfgCapped.RepeatCap = 2
+	full, err := RunModel(m, 1, cfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := RunModel(m, 1, cfgCapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Tiles >= full.Tiles {
+		t.Fatalf("cap did not reduce work: %d vs %d tiles", capped.Tiles, full.Tiles)
+	}
+	if full.Tiles != capped.Tiles/2*25 {
+		t.Fatalf("tiles: full %d, capped %d — expected 25 vs 2 timesteps",
+			full.Tiles, capped.Tiles)
+	}
+}
+
+func TestTileCapTruncates(t *testing.T) {
+	cfg := baseCfg(core.Oracle)
+	cfg.TileCap = 1
+	res, err := RunModel(smallModel(), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 2 { // one tile per layer
+		t.Fatalf("tiles = %d, want 2", res.Tiles)
+	}
+}
+
+func TestTimelineCaptured(t *testing.T) {
+	cfg := baseCfg(core.Oracle)
+	cfg.TimelineWindow = 1000
+	res, err := RunModel(smallModel(), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil || res.Timeline.Peak() == 0 {
+		t.Fatal("timeline missing")
+	}
+	if res.Timeline.Peak() > 1000 {
+		t.Fatalf("timeline peak %d exceeds the 1-per-cycle issue limit", res.Timeline.Peak())
+	}
+}
+
+func TestSpatialComputeModelRuns(t *testing.T) {
+	cfg := baseCfg(core.NeuMMU)
+	cfg.Compute = spatial.Baseline()
+	res, err := RunModel(smallModel(), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compute != spatial.Baseline().Name() {
+		t.Fatalf("compute model = %q", res.Compute)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("spatial run produced no cycles")
+	}
+}
+
+func TestLargePagesReduceTranslations(t *testing.T) {
+	cfg4k := baseCfg(core.NeuMMU)
+	cfg2m := baseCfg(core.NeuMMU)
+	cfg2m.MMU = core.ConfigFor(core.NeuMMU, vm.Page2M)
+	r4k, err := RunModel(smallModel(), 4, cfg4k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2m, err := RunModel(smallModel(), 4, cfg2m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DMA burst size fixes the transaction count, but 2MB pages
+	// collapse the distinct-page count and therefore the walk count.
+	if r2m.Translations != r4k.Translations {
+		t.Fatalf("transaction counts differ: %d vs %d", r2m.Translations, r4k.Translations)
+	}
+	if r2m.Walker.WalksStarted*10 >= r4k.Walker.WalksStarted {
+		t.Fatalf("2MB pages walked %d vs %d for 4KB: expected >10x reduction",
+			r2m.Walker.WalksStarted, r4k.Walker.WalksStarted)
+	}
+	if r2m.PageDivergence.Mean() >= r4k.PageDivergence.Mean() {
+		t.Fatal("2MB pages did not reduce page divergence")
+	}
+}
+
+func TestMissingComputeModelFails(t *testing.T) {
+	cfg := baseCfg(core.Oracle)
+	cfg.Compute = nil
+	if _, err := RunModel(smallModel(), 1, cfg); err == nil {
+		t.Fatal("nil compute model accepted")
+	}
+}
+
+func TestNormalizedPerfAndOverhead(t *testing.T) {
+	a := &Result{Cycles: 100}
+	b := &Result{Cycles: 200}
+	if b.NormalizedPerf(a) != 0.5 {
+		t.Fatal("normalized perf wrong")
+	}
+	if b.Overhead(a) != 1.0 {
+		t.Fatal("overhead wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r1, err := RunModel(smallModel(), 4, baseCfg(core.NeuMMU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunModel(smallModel(), 4, baseCfg(core.NeuMMU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Translations != r2.Translations ||
+		r1.Walker.WalksStarted != r2.Walker.WalksStarted {
+		t.Fatalf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,117 @@
+package numa
+
+import (
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/vm"
+)
+
+func TestIterationsWarmUp(t *testing.T) {
+	// Consecutive batches share demand-paged residency: later iterations
+	// fault far less than the cold first one (hot zipf rows persist).
+	results, err := RunIterations(hot(), 8, 3, DemandPaging, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	cold, warm := results[0], results[2]
+	if cold.Iteration != 0 || warm.Iteration != 2 {
+		t.Fatalf("iterations mislabeled: %d, %d", cold.Iteration, warm.Iteration)
+	}
+	if warm.Faults >= cold.Faults {
+		t.Fatalf("warm batch faulted %d times vs cold %d: residency not shared",
+			warm.Faults, cold.Faults)
+	}
+	if warm.Breakdown.EmbeddingLookup >= cold.Breakdown.EmbeddingLookup {
+		t.Fatalf("warm gather (%d) not faster than cold (%d)",
+			warm.Breakdown.EmbeddingLookup, cold.Breakdown.EmbeddingLookup)
+	}
+}
+
+func TestIterationsOversubscribedThrashes(t *testing.T) {
+	sys := DefaultSystem()
+	sys.LocalCapacity = 8 * int64(vm.Page4K.Bytes())
+	bounded, err := RunIterations(hot(), 8, 3, DemandPaging, core.NeuMMU, vm.Page4K, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.LocalCapacity = 0
+	unbounded, err := RunIterations(hot(), 8, 3, DemandPaging, core.NeuMMU, vm.Page4K, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 8 resident pages, the warm batch must re-fault evicted pages.
+	if bounded[2].Faults <= unbounded[2].Faults {
+		t.Fatalf("oversubscribed warm batch faulted %d vs %d unbounded: no thrashing",
+			bounded[2].Faults, unbounded[2].Faults)
+	}
+}
+
+func TestIterationsNUMAStable(t *testing.T) {
+	// Pure NUMA mode has no migration state: every iteration costs about
+	// the same (TLB warmth gives a small, bounded improvement).
+	results, err := RunIterations(small(), 8, 3, NUMAFast, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := float64(results[0].Breakdown.EmbeddingLookup)
+	b := float64(results[2].Breakdown.EmbeddingLookup)
+	if b > a*1.2 || b < a*0.3 {
+		t.Fatalf("NUMA iterations diverge: %v then %v", a, b)
+	}
+}
+
+func TestIterationsValidation(t *testing.T) {
+	if _, err := RunIterations(small(), 8, 0, NUMAFast, core.NeuMMU, vm.Page4K, DefaultSystem()); err == nil {
+		t.Fatal("0 iterations accepted")
+	}
+}
+
+func TestMosaicSteadyStateTranslationWin(t *testing.T) {
+	// At the default promotion threshold, hot regions promote during the
+	// cold batch and warm batches match plain 4 KB paging (with fewer
+	// walks for the promoted regions). An over-eager threshold instead
+	// burns interconnect bandwidth on 2 MB migrations — the honest
+	// trade-off Mosaic navigates.
+	sys := DefaultSystem()
+	plain, err := RunIterations(hot(), 16, 3, DemandPaging, core.NeuMMU, vm.Page4K, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mosaic, err := RunIterations(hot(), 16, 3, DemandPagingMosaic, core.NeuMMU, vm.Page4K, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPromos int64
+	for _, r := range mosaic {
+		totalPromos += r.Promotions
+	}
+	if totalPromos == 0 {
+		t.Fatal("no promotions at default threshold on hot traffic")
+	}
+	pw := plain[2].Breakdown.Total()
+	mw := mosaic[2].Breakdown.Total()
+	if float64(mw) > 1.2*float64(pw) {
+		t.Fatalf("mosaic warm batch (%d) slower than plain (%d)", mw, pw)
+	}
+
+	// Over-eager promotion is measurably worse: more migrated bytes.
+	eager := sys
+	eager.MosaicPromoteThreshold = 4
+	eagerRes, err := RunIterations(hot(), 16, 3, DemandPagingMosaic, core.NeuMMU, vm.Page4K, eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eagerBytes, defBytes int64
+	for i := range eagerRes {
+		eagerBytes += eagerRes[i].MigratedBytes
+		defBytes += mosaic[i].MigratedBytes
+	}
+	if eagerBytes <= defBytes {
+		t.Fatalf("eager promotion migrated %d bytes vs default %d: expected bloat",
+			eagerBytes, defBytes)
+	}
+}

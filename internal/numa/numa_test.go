@@ -1,0 +1,179 @@
+package numa
+
+import (
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/embeddings"
+	"neummu/internal/vm"
+)
+
+func small() embeddings.Config {
+	c := embeddings.NCF()
+	// Shrink candidate slates so unit tests run in microseconds while
+	// keeping the access pattern's shape.
+	c.Tables[1].LookupsPerSample = 32
+	return c
+}
+
+func TestModeOrdering(t *testing.T) {
+	sys := DefaultSystem()
+	run := func(mode Mode, kind core.Kind) *Result {
+		r, err := Run(small(), 8, mode, kind, vm.Page4K, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(BaselineCopy, core.Oracle)
+	slow := run(NUMASlow, core.NeuMMU)
+	fast := run(NUMAFast, core.NeuMMU)
+	if !(fast.Breakdown.Total() < slow.Breakdown.Total() &&
+		slow.Breakdown.Total() < base.Breakdown.Total()) {
+		t.Fatalf("ordering violated: baseline=%d slow=%d fast=%d",
+			base.Breakdown.Total(), slow.Breakdown.Total(), fast.Breakdown.Total())
+	}
+	// The paper's headline: the baseline loses most of its time to the
+	// embedding gather (§III-B: 71% average overhead).
+	if share := float64(base.Breakdown.EmbeddingLookup) / float64(base.Breakdown.Total()); share < 0.5 {
+		t.Fatalf("baseline embedding share = %v, want > 0.5", share)
+	}
+}
+
+func TestRemotePartitioning(t *testing.T) {
+	r, err := Run(small(), 4, NUMAFast, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemoteLookups == 0 || r.RemoteLookups >= r.Lookups {
+		t.Fatalf("remote=%d of %d lookups", r.RemoteLookups, r.Lookups)
+	}
+	// NCF's item table (table 1) lives on NPU 1: its lookups are remote.
+	c := small()
+	wantRemote := 0
+	for _, l := range c.Trace(4) {
+		if l.Table%4 != 0 {
+			wantRemote++
+		}
+	}
+	if r.RemoteLookups != wantRemote {
+		t.Fatalf("remote lookups = %d, want %d", r.RemoteLookups, wantRemote)
+	}
+}
+
+func TestDemandPagingFaultsOncePerPage(t *testing.T) {
+	r, err := Run(small(), 8, DemandPaging, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == 0 {
+		t.Fatal("demand paging produced no faults")
+	}
+	if r.MigratedBytes != r.Faults*int64(vm.Page4K.Bytes()) {
+		t.Fatalf("migrated %d bytes for %d faults", r.MigratedBytes, r.Faults)
+	}
+	// Zipf reuse means faults ≪ remote lookups (pages are shared).
+	if r.Faults >= int64(r.RemoteLookups) {
+		t.Fatalf("faults=%d ≥ remote lookups=%d: no page reuse", r.Faults, r.RemoteLookups)
+	}
+}
+
+func TestLargePageDemandPagingMigratesMore(t *testing.T) {
+	r4k, err := Run(small(), 4, DemandPaging, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2m, err := Run(small(), 4, DemandPaging, core.NeuMMU, vm.Page2M, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2m.MigratedBytes <= r4k.MigratedBytes {
+		t.Fatalf("2MB migration traffic %d not larger than 4KB's %d",
+			r2m.MigratedBytes, r4k.MigratedBytes)
+	}
+	// Fig 16's message: large pages lose under sparse demand paging.
+	if r2m.Breakdown.Total() <= r4k.Breakdown.Total() {
+		t.Fatalf("2MB demand paging (%d) not slower than 4KB (%d)",
+			r2m.Breakdown.Total(), r4k.Breakdown.Total())
+	}
+}
+
+func TestDemandPagingIOMMUSlowerThanNeuMMU(t *testing.T) {
+	io, err := Run(small(), 8, DemandPaging, core.IOMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := Run(small(), 8, DemandPaging, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.Breakdown.Total() <= neu.Breakdown.Total() {
+		t.Fatalf("IOMMU demand paging (%d) not slower than NeuMMU (%d)",
+			io.Breakdown.Total(), neu.Breakdown.Total())
+	}
+}
+
+func TestBaselineForcesOracleTranslation(t *testing.T) {
+	// The MMU-less baseline uses base+bound addressing: requesting it
+	// with an IOMMU kind silently runs the oracle path.
+	r, err := Run(small(), 2, BaselineCopy, core.IOMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MMUKind != core.Oracle {
+		t.Fatalf("baseline ran with MMU kind %v", r.MMUKind)
+	}
+}
+
+func TestBreakdownComponentsPopulated(t *testing.T) {
+	r, err := Run(embeddings.DLRM(), 8, NUMAFast, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.Breakdown
+	if b.EmbeddingLookup <= 0 || b.GEMM <= 0 || b.Reduction <= 0 || b.Else <= 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total() != b.EmbeddingLookup+b.GEMM+b.Reduction+b.Else {
+		t.Fatal("total != sum of parts")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(small(), 0, NUMAFast, core.NeuMMU, vm.Page4K, DefaultSystem()); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	sys := DefaultSystem()
+	sys.NumNPUs = 1
+	if _, err := Run(small(), 1, NUMAFast, core.NeuMMU, vm.Page4K, sys); err == nil {
+		t.Fatal("single-NPU system accepted")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		BaselineCopy: "baseline", NUMASlow: "numa-slow",
+		NUMAFast: "numa-fast", DemandPaging: "demand-paging",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Mode(99).String() != "unknown" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(small(), 8, NUMASlow, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(small(), 8, NUMASlow, core.NeuMMU, vm.Page4K, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Breakdown != b.Breakdown || a.Faults != b.Faults {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Breakdown, b.Breakdown)
+	}
+}

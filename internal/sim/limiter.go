@@ -1,0 +1,56 @@
+package sim
+
+// RateLimiter serializes access to a resource that admits a fixed number of
+// byte-equivalents per cycle, such as a memory channel or an interconnect
+// link. It is the building block for every bandwidth model in the
+// repository.
+//
+// Claim returns the cycle at which a request of the given size finishes
+// occupying the resource; the caller typically adds a fixed access latency
+// on top to obtain the completion time.
+type RateLimiter struct {
+	// BytesPerCycle is the sustained throughput of the resource.
+	BytesPerCycle float64
+
+	busyUntil Cycle
+	fracDebt  float64 // fractional cycles owed, carried to keep long-run rate exact
+}
+
+// NewRateLimiter returns a limiter with the given sustained throughput.
+// Throughput must be positive.
+func NewRateLimiter(bytesPerCycle float64) *RateLimiter {
+	if bytesPerCycle <= 0 {
+		panic("sim: RateLimiter requires positive throughput")
+	}
+	return &RateLimiter{BytesPerCycle: bytesPerCycle}
+}
+
+// Claim reserves the resource for a transfer of size bytes arriving at
+// cycle at, and returns the cycle at which the transfer's last byte has
+// passed through.
+func (r *RateLimiter) Claim(at Cycle, bytes int64) Cycle {
+	start := r.busyUntil
+	if at > start {
+		start = at
+		r.fracDebt = 0
+	}
+	dur := float64(bytes)/r.BytesPerCycle + r.fracDebt
+	whole := Cycle(dur)
+	r.fracDebt = dur - float64(whole)
+	if whole < 1 {
+		// Even tiny transfers occupy the resource for one cycle slot.
+		whole = 1
+		r.fracDebt = 0
+	}
+	r.busyUntil = start + whole
+	return r.busyUntil
+}
+
+// BusyUntil reports the cycle at which the resource becomes free.
+func (r *RateLimiter) BusyUntil() Cycle { return r.busyUntil }
+
+// Reset clears the limiter's occupancy state.
+func (r *RateLimiter) Reset() {
+	r.busyUntil = 0
+	r.fracDebt = 0
+}

@@ -1,0 +1,134 @@
+// Package sim provides the event-driven simulation core shared by every
+// timing model in the repository: a 64-bit cycle clock and a deterministic
+// binary-heap event queue.
+//
+// All NeuMMU timing components (DMA issue, TLB lookups, page-table walks,
+// memory transactions, interconnect transfers) are expressed as events on a
+// single queue. Determinism matters for reproducibility: events scheduled
+// for the same cycle fire in insertion order, so repeated runs of a seeded
+// experiment produce bit-identical statistics.
+package sim
+
+// Cycle is a point in simulated time, measured in NPU clock cycles
+// (1 GHz in the baseline configuration, so one cycle is 1 ns).
+type Cycle int64
+
+// Event is a callback scheduled to fire at a particular cycle.
+type Event func(now Cycle)
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Event
+}
+
+// Queue is a deterministic min-heap event queue.
+//
+// The zero value is ready to use.
+type Queue struct {
+	heap []item
+	seq  uint64
+	now  Cycle
+}
+
+// Now returns the current simulation time: the cycle of the most recently
+// fired event (0 before any event fires).
+func (q *Queue) Now() Cycle { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// (at < Now) clamps to the current cycle, which keeps composed models safe
+// when a zero-latency hop is computed from stale state.
+func (q *Queue) At(at Cycle, fn Event) {
+	if at < q.now {
+		at = q.now
+	}
+	q.push(item{at: at, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn to run delay cycles after the current time.
+func (q *Queue) After(delay Cycle, fn Event) {
+	q.At(q.now+delay, fn)
+}
+
+// Step fires the earliest pending event and reports whether one existed.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	it := q.pop()
+	if it.at > q.now {
+		q.now = it.at
+	}
+	it.fn(q.now)
+	return true
+}
+
+// Run drains the queue, firing events in order, and returns the cycle of
+// the last event fired. Components keep the simulation alive by scheduling
+// follow-on events from inside their callbacks, so a drained queue means
+// the modeled phase reached quiescence.
+func (q *Queue) Run() Cycle {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil fires events up to and including cycle limit, returning true if
+// the queue drained before the limit was reached.
+func (q *Queue) RunUntil(limit Cycle) bool {
+	for len(q.heap) > 0 {
+		if q.heap[0].at > limit {
+			return false
+		}
+		q.Step()
+	}
+	return true
+}
+
+func (q *Queue) push(it item) {
+	q.heap = append(q.heap, it)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) pop() item {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && less(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < last && less(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func less(a, b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFiresInTimeOrder(t *testing.T) {
+	var q Queue
+	var got []Cycle
+	for _, c := range []Cycle{30, 10, 20, 10, 5} {
+		c := c
+		q.At(c, func(now Cycle) { got = append(got, now) })
+	}
+	q.Run()
+	want := []Cycle{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueueSameCycleFIFO(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(42, func(Cycle) { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestQueueNowAdvancesMonotonically(t *testing.T) {
+	var q Queue
+	last := Cycle(-1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		q.At(Cycle(rng.Intn(1000)), func(now Cycle) {
+			if now < last {
+				t.Fatalf("time went backwards: %d after %d", now, last)
+			}
+			last = now
+		})
+	}
+	q.Run()
+}
+
+func TestQueuePastSchedulingClamps(t *testing.T) {
+	var q Queue
+	fired := Cycle(-1)
+	q.At(100, func(now Cycle) {
+		// Schedule "in the past"; must fire at now, not before.
+		q.At(5, func(n2 Cycle) { fired = n2 })
+	})
+	q.Run()
+	if fired != 100 {
+		t.Fatalf("past-scheduled event fired at %d, want clamp to 100", fired)
+	}
+}
+
+func TestQueueAfterIsRelative(t *testing.T) {
+	var q Queue
+	var at Cycle
+	q.At(50, func(now Cycle) {
+		q.After(25, func(n2 Cycle) { at = n2 })
+	})
+	q.Run()
+	if at != 75 {
+		t.Fatalf("After(25) from cycle 50 fired at %d, want 75", at)
+	}
+}
+
+func TestQueueRunUntil(t *testing.T) {
+	var q Queue
+	count := 0
+	for _, c := range []Cycle{10, 20, 30, 40} {
+		q.At(c, func(Cycle) { count++ })
+	}
+	if q.RunUntil(25) {
+		t.Fatal("RunUntil(25) reported drained with events pending")
+	}
+	if count != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", count)
+	}
+	if !q.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain the queue")
+	}
+	if count != 4 {
+		t.Fatalf("fired %d events total, want 4", count)
+	}
+}
+
+func TestQueueCascade(t *testing.T) {
+	// A chain of events each scheduling the next must run to completion.
+	var q Queue
+	depth := 0
+	var step func(Cycle)
+	step = func(now Cycle) {
+		depth++
+		if depth < 1000 {
+			q.After(1, step)
+		}
+	}
+	q.At(0, step)
+	end := q.Run()
+	if depth != 1000 {
+		t.Fatalf("cascade depth %d, want 1000", depth)
+	}
+	if end != 999 {
+		t.Fatalf("cascade ended at cycle %d, want 999", end)
+	}
+}
+
+// Property: for any set of scheduled cycles, the firing order is the sorted
+// order of the (clamped) cycles.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var q Queue
+		var fired []Cycle
+		for _, d := range delays {
+			q.At(Cycle(d), func(now Cycle) { fired = append(fired, now) })
+		}
+		q.Run()
+		want := make([]Cycle, len(delays))
+		for i, d := range delays {
+			want[i] = Cycle(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLimiterSerializes(t *testing.T) {
+	r := NewRateLimiter(64) // 64 B/cycle
+	// Two back-to-back 640-byte transfers at cycle 0: 10 cycles each.
+	if got := r.Claim(0, 640); got != 10 {
+		t.Fatalf("first claim done at %d, want 10", got)
+	}
+	if got := r.Claim(0, 640); got != 20 {
+		t.Fatalf("second claim done at %d, want 20", got)
+	}
+	// A transfer arriving after the backlog clears starts fresh.
+	if got := r.Claim(100, 640); got != 110 {
+		t.Fatalf("idle-arrival claim done at %d, want 110", got)
+	}
+}
+
+func TestRateLimiterMinimumOccupancy(t *testing.T) {
+	r := NewRateLimiter(600)
+	// A 1-byte transfer still occupies at least one cycle slot.
+	if got := r.Claim(0, 1); got != 1 {
+		t.Fatalf("tiny claim done at %d, want 1", got)
+	}
+}
+
+func TestRateLimiterLongRunRate(t *testing.T) {
+	// Sustained throughput over many claims must converge to BytesPerCycle.
+	r := NewRateLimiter(600)
+	const n = 10000
+	var done Cycle
+	for i := 0; i < n; i++ {
+		done = r.Claim(0, 1500) // 2.5 cycles each
+	}
+	want := float64(n) * 1500 / 600
+	got := float64(done)
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("long-run completion %v, want about %v", got, want)
+	}
+}
+
+func TestRateLimiterReset(t *testing.T) {
+	r := NewRateLimiter(64)
+	r.Claim(0, 6400)
+	r.Reset()
+	if r.BusyUntil() != 0 {
+		t.Fatal("Reset did not clear occupancy")
+	}
+}
+
+func TestRateLimiterRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRateLimiter(0) did not panic")
+		}
+	}()
+	NewRateLimiter(0)
+}

@@ -1,0 +1,52 @@
+// Package spatial models the alternative NPU microarchitecture of §VI-B:
+// a DaDianNao/Eyeriss-style two-dimensional grid of processing elements,
+// each containing a vector ALU that performs dot-product operations.
+// The SPM-centric memory hierarchy — and therefore the DMA/MMU path whose
+// behaviour NeuMMU addresses — is identical to the systolic baseline; only
+// the compute-phase timing differs.
+package spatial
+
+import "fmt"
+
+// Grid is a spatial-array compute model.
+type Grid struct {
+	// PEs is the number of processing elements (16×16 in DaDianNao-like
+	// configurations).
+	PEs int
+	// VectorWidth is each PE's dot-product width per cycle.
+	VectorWidth int
+	// Efficiency derates peak throughput for dataflow stalls; spatial
+	// architectures lose some utilization orchestrating their NoC.
+	Efficiency float64
+	// TileOverhead is the fixed per-tile configuration cost in cycles
+	// (loading the PE instruction/configuration state).
+	TileOverhead int64
+}
+
+// Baseline returns a 256-PE, 16-wide grid at 85% efficiency — throughput
+// comparable to (slightly below) the 128×128 systolic array, following the
+// relative provisioning of DaDianNao versus the TPU.
+func Baseline() Grid {
+	return Grid{PEs: 256, VectorWidth: 16, Efficiency: 0.85, TileOverhead: 64}
+}
+
+// Name implements the compute-model interface used by internal/npu.
+func (g Grid) Name() string { return fmt.Sprintf("spatial-%dx%dw", g.PEs, g.VectorWidth) }
+
+// PeakMACsPerCycle returns the grid's peak multiply-accumulate rate.
+func (g Grid) PeakMACsPerCycle() int64 { return int64(g.PEs) * int64(g.VectorWidth) }
+
+// TileCycles returns the compute-phase duration for an M×K×N GEMM tile.
+func (g Grid) TileCycles(m, k, n int64) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	macs := m * k * n
+	eff := g.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	rate := float64(g.PeakMACsPerCycle()) * eff
+	cycles := int64(float64(macs)/rate) + 1
+	return cycles + g.TileOverhead
+}

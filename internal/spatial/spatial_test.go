@@ -1,0 +1,64 @@
+package spatial
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTileCyclesScaleWithWork(t *testing.T) {
+	g := Baseline()
+	small := g.TileCycles(100, 100, 100)
+	large := g.TileCycles(200, 100, 100)
+	if large <= small {
+		t.Fatalf("doubling M did not increase cycles: %d vs %d", small, large)
+	}
+}
+
+func TestTileOverheadApplied(t *testing.T) {
+	g := Baseline()
+	if got := g.TileCycles(1, 1, 1); got != 1+g.TileOverhead {
+		t.Fatalf("minimal tile = %d, want %d", got, 1+g.TileOverhead)
+	}
+}
+
+func TestZeroDims(t *testing.T) {
+	if Baseline().TileCycles(0, 5, 5) != 0 {
+		t.Fatal("degenerate tile must cost nothing")
+	}
+}
+
+func TestEfficiencyDefaultsWhenInvalid(t *testing.T) {
+	g := Grid{PEs: 16, VectorWidth: 16, Efficiency: 0, TileOverhead: 0}
+	// With eff clamped to 1: 256 MACs/cy, 2560 MACs → 10+1 cycles.
+	if got := g.TileCycles(10, 16, 16); got != 11 {
+		t.Fatalf("cycles = %d, want 11", got)
+	}
+}
+
+func TestComparableToSystolicThroughput(t *testing.T) {
+	// The spatial baseline should be within 2× of the systolic baseline
+	// for a large square GEMM — §VI-B says the MMU conclusions transfer.
+	g := Baseline()
+	macs := int64(4096) * 4096 * 4096
+	cycles := g.TileCycles(4096, 4096, 4096)
+	ratio := float64(macs) / float64(cycles) / float64(g.PeakMACsPerCycle())
+	if ratio < 0.5 || ratio > 1.01 {
+		t.Fatalf("spatial efficiency = %v, want within (0.5, 1]", ratio)
+	}
+}
+
+// Property: cycles are positive for positive work and monotone in each dim.
+func TestMonotoneProperty(t *testing.T) {
+	g := Baseline()
+	f := func(m, k, n uint8) bool {
+		M, K, N := int64(m)+1, int64(k)+1, int64(n)+1
+		c := g.TileCycles(M, K, N)
+		return c > 0 &&
+			g.TileCycles(M+1, K, N) >= c &&
+			g.TileCycles(M, K+1, N) >= c &&
+			g.TileCycles(M, K, N+1) >= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

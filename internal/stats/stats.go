@@ -1,0 +1,217 @@
+// Package stats provides the counters, distributions, and windowed time
+// series the experiment harness uses to regenerate the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dist accumulates a scalar distribution (count/sum/min/max).
+type Dist struct {
+	N   int64
+	Sum float64
+	Min float64
+	Max float64
+}
+
+// Add records one observation.
+func (d *Dist) Add(v float64) {
+	if d.N == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.N == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.N++
+	d.Sum += v
+}
+
+// Mean returns the average of the observations (0 if none).
+func (d *Dist) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.N)
+}
+
+// Merge folds other into d.
+func (d *Dist) Merge(other Dist) {
+	if other.N == 0 {
+		return
+	}
+	if d.N == 0 {
+		*d = other
+		return
+	}
+	if other.Min < d.Min {
+		d.Min = other.Min
+	}
+	if other.Max > d.Max {
+		d.Max = other.Max
+	}
+	d.N += other.N
+	d.Sum += other.Sum
+}
+
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.0f max=%.0f", d.N, d.Mean(), d.Min, d.Max)
+}
+
+// TimeSeries buckets event counts into fixed-width windows of simulated
+// time. It reproduces Figure 7's "translations requested within 1000
+// cycles" plots.
+type TimeSeries struct {
+	Window  int64
+	buckets []int64
+}
+
+// NewTimeSeries returns a series with the given window width in cycles.
+func NewTimeSeries(window int64) *TimeSeries {
+	if window <= 0 {
+		panic("stats: window must be positive")
+	}
+	return &TimeSeries{Window: window}
+}
+
+// Record adds n events at the given cycle.
+func (ts *TimeSeries) Record(cycle int64, n int64) {
+	if cycle < 0 {
+		cycle = 0
+	}
+	idx := int(cycle / ts.Window)
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[idx] += n
+}
+
+// Buckets returns the per-window counts.
+func (ts *TimeSeries) Buckets() []int64 { return ts.buckets }
+
+// Peak returns the largest window count.
+func (ts *TimeSeries) Peak() int64 {
+	var p int64
+	for _, b := range ts.buckets {
+		if b > p {
+			p = b
+		}
+	}
+	return p
+}
+
+// BurstFraction returns the fraction of windows whose count is at least
+// frac of the window width — i.e. windows where the requester was issuing
+// nearly every cycle. It quantifies how bursty the translation traffic is.
+func (ts *TimeSeries) BurstFraction(frac float64) float64 {
+	if len(ts.buckets) == 0 {
+		return 0
+	}
+	thresh := int64(frac * float64(ts.Window))
+	n := 0
+	for _, b := range ts.buckets {
+		if b >= thresh {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ts.buckets))
+}
+
+// Sparkline renders the series as a compact ASCII chart, one rune per
+// window, for the trace-dump tools.
+func (ts *TimeSeries) Sparkline(maxWidth int) string {
+	if len(ts.buckets) == 0 {
+		return ""
+	}
+	levels := []rune(" .:-=+*#%@")
+	b := ts.buckets
+	if maxWidth > 0 && len(b) > maxWidth {
+		// Downsample by max within coarser windows.
+		factor := (len(b) + maxWidth - 1) / maxWidth
+		var ds []int64
+		for i := 0; i < len(b); i += factor {
+			var m int64
+			for j := i; j < i+factor && j < len(b); j++ {
+				if b[j] > m {
+					m = b[j]
+				}
+			}
+			ds = append(ds, m)
+		}
+		b = ds
+	}
+	peak := ts.Peak()
+	if peak == 0 {
+		peak = 1
+	}
+	var sb strings.Builder
+	for _, v := range b {
+		idx := int(float64(v) / float64(peak) * float64(len(levels)-1))
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// Histogram is a fixed-bucket histogram over int64 values.
+type Histogram struct {
+	Bounds []int64 // ascending upper bounds; an implicit +inf bucket follows
+	counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{Bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v int64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.counts[i]++
+	h.total++
+}
+
+// Counts returns per-bucket counts (the final bucket is overflow).
+func (h *Histogram) Counts() []int64 { return h.counts }
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) using the
+// bucket bounds; overflow values report the largest bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Ratio returns a/b, or 0 when b is 0. It is the common guard for the
+// hit-rate computations scattered through the MMU stats.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,42 @@
+package systolic
+
+import "fmt"
+
+// OutputStationary models the alternative dataflow §VI-B alludes to:
+// instead of pinning a weight block in the array (weight-stationary,
+// TPU-style), each PE accumulates one output element while weights and
+// activations stream past. The MMU-facing behaviour — SPM-centric tiling
+// and bursty DMA fetches — is unchanged; only the compute-phase envelope
+// differs: output-stationary arrays pay per output block rather than per
+// weight block, which favors tall-and-skinny GEMMs (large M, small N) and
+// penalizes wide ones.
+type OutputStationary struct {
+	// Rows × Cols PEs, each holding one output partial sum.
+	Rows, Cols int
+}
+
+// OSBaseline returns a 128×128 output-stationary array.
+func OSBaseline() OutputStationary { return OutputStationary{Rows: 128, Cols: 128} }
+
+// Name implements the compute-model interface used by internal/npu.
+func (a OutputStationary) Name() string {
+	return fmt.Sprintf("systolic-os-%dx%d", a.Rows, a.Cols)
+}
+
+// PeakMACsPerCycle returns the array's peak multiply-accumulate rate.
+func (a OutputStationary) PeakMACsPerCycle() int64 {
+	return int64(a.Rows) * int64(a.Cols)
+}
+
+// TileCycles returns the compute-phase duration of an M×K×N GEMM tile.
+// The array computes a Rows×Cols block of outputs per pass; each pass
+// streams the full K reduction plus skew-in/skew-out.
+func (a OutputStationary) TileCycles(m, k, n int64) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	blocksM := (m + int64(a.Rows) - 1) / int64(a.Rows)
+	blocksN := (n + int64(a.Cols) - 1) / int64(a.Cols)
+	perBlock := k + int64(a.Rows) + int64(a.Cols)
+	return blocksM * blocksN * perBlock
+}

@@ -1,0 +1,64 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOSSingleBlock(t *testing.T) {
+	a := OSBaseline()
+	// One 128×128 output block over K=1000: stream + skew.
+	if got := a.TileCycles(128, 1000, 128); got != 1000+128+128 {
+		t.Fatalf("cycles = %d, want 1256", got)
+	}
+}
+
+func TestOSBlocksScaleWithOutputs(t *testing.T) {
+	a := OSBaseline()
+	one := a.TileCycles(128, 512, 128)
+	four := a.TileCycles(256, 512, 256)
+	if four != 4*one {
+		t.Fatalf("2×2 output blocks = %d, want 4×%d", four, one)
+	}
+}
+
+func TestOSVersusWeightStationaryShape(t *testing.T) {
+	ws := Baseline()
+	os := OSBaseline()
+	// Tall-and-skinny GEMM (huge M, tiny N): output-stationary pays M/Rows
+	// passes of K each — worse than weight-stationary's single-block
+	// stream when K is small.
+	tallM, tallK, tallN := int64(100000), int64(128), int64(128)
+	if os.TileCycles(tallM, tallK, tallN) < ws.TileCycles(tallM, tallK, tallN) {
+		t.Fatal("OS should not beat WS when M dwarfs K (it re-streams K per M-block)")
+	}
+	// Deep reduction with small M: weight-stationary iterates K-blocks,
+	// output-stationary streams K once.
+	deepM, deepK, deepN := int64(64), int64(100000), int64(128)
+	if os.TileCycles(deepM, deepK, deepN) > ws.TileCycles(deepM, deepK, deepN) {
+		t.Fatal("OS should win on deep reductions with small M")
+	}
+}
+
+func TestOSZeroDims(t *testing.T) {
+	if OSBaseline().TileCycles(0, 1, 1) != 0 {
+		t.Fatal("degenerate tile must cost nothing")
+	}
+}
+
+// Property: cycles monotone in every dimension and ≥ the ideal macs/peak.
+func TestOSBoundsProperty(t *testing.T) {
+	a := OSBaseline()
+	f := func(m, k, n uint16) bool {
+		M, K, N := int64(m)+1, int64(k)+1, int64(n)+1
+		c := a.TileCycles(M, K, N)
+		ideal := M * K * N / a.PeakMACsPerCycle()
+		return c > 0 && c >= ideal &&
+			a.TileCycles(M+1, K, N) >= c &&
+			a.TileCycles(M, K+1, N) >= c &&
+			a.TileCycles(M, K, N+1) >= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

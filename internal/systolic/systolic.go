@@ -1,0 +1,55 @@
+// Package systolic models the compute phase of a Google TPU-style
+// weight-stationary systolic array (§II-C, Fig 2): a Rows×Cols grid of
+// MACs into which a K×N weight block is loaded while M activation rows
+// stream through.
+//
+// The model is analytic: the MMU study needs the compute phase only as the
+// envelope that overlaps (and potentially hides) the next tile's memory
+// phase (Fig 3), so per-PE datapath detail is unnecessary. For one weight
+// block the pipeline costs Rows cycles to fill, M cycles to stream, and
+// Cols cycles to drain; a tile with K×N larger than the array iterates
+// over ceil(K/Rows)·ceil(N/Cols) blocks.
+package systolic
+
+import "fmt"
+
+// Array is a weight-stationary systolic array compute model.
+type Array struct {
+	// Rows and Cols are the PE grid dimensions (Table I: 128×128).
+	Rows, Cols int
+}
+
+// Baseline returns the paper's 128×128 array.
+func Baseline() Array { return Array{Rows: 128, Cols: 128} }
+
+// Name implements the compute-model interface used by internal/npu.
+func (a Array) Name() string { return fmt.Sprintf("systolic-%dx%d", a.Rows, a.Cols) }
+
+// TileCycles returns the compute-phase duration for a GEMM tile of shape
+// M×K×N (M activation rows, K reduction depth, N output columns).
+// Convolutions are mapped through im2col by the tiling planner, so M is
+// output pixels × batch, K is C·R·S, and N is the filter count.
+func (a Array) TileCycles(m, k, n int64) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	blocksK := (k + int64(a.Rows) - 1) / int64(a.Rows)
+	blocksN := (n + int64(a.Cols) - 1) / int64(a.Cols)
+	perBlock := int64(a.Rows) + m + int64(a.Cols)
+	return blocksK * blocksN * perBlock
+}
+
+// PeakMACsPerCycle returns the array's peak multiply-accumulate rate.
+func (a Array) PeakMACsPerCycle() int64 { return int64(a.Rows) * int64(a.Cols) }
+
+// Utilization returns the fraction of peak MAC throughput achieved for a
+// tile of the given shape: the analytic sanity metric cross-checked in
+// tests against the paper's claim of high utilization for large tiles.
+func (a Array) Utilization(m, k, n int64) float64 {
+	cycles := a.TileCycles(m, k, n)
+	if cycles == 0 {
+		return 0
+	}
+	macs := m * k * n
+	return float64(macs) / (float64(cycles) * float64(a.PeakMACsPerCycle()))
+}

@@ -1,0 +1,70 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBlockTiming(t *testing.T) {
+	a := Baseline()
+	// One 128×128 weight block, 1000 activation rows: fill+stream+drain.
+	if got := a.TileCycles(1000, 128, 128); got != 128+1000+128 {
+		t.Fatalf("cycles = %d, want 1256", got)
+	}
+}
+
+func TestMultiBlockTiming(t *testing.T) {
+	a := Baseline()
+	// K=256 → 2 row-blocks, N=512 → 4 col-blocks: 8 passes.
+	want := int64(8) * (128 + 100 + 128)
+	if got := a.TileCycles(100, 256, 512); got != want {
+		t.Fatalf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestPartialBlocksRoundUp(t *testing.T) {
+	a := Baseline()
+	if a.TileCycles(10, 129, 1) != 2*(128+10+128) {
+		t.Fatal("K=129 must cost two row-blocks")
+	}
+}
+
+func TestZeroDims(t *testing.T) {
+	a := Baseline()
+	if a.TileCycles(0, 128, 128) != 0 || a.TileCycles(5, 0, 5) != 0 {
+		t.Fatal("degenerate tiles must cost nothing")
+	}
+}
+
+func TestUtilizationApproachesOneForTallTiles(t *testing.T) {
+	a := Baseline()
+	u := a.Utilization(100000, 128, 128)
+	if u < 0.99 {
+		t.Fatalf("tall-tile utilization = %v, want ≈1", u)
+	}
+	// Tiny M wastes the fill/drain pipeline.
+	if u2 := a.Utilization(1, 128, 128); u2 > 0.01 {
+		t.Fatalf("M=1 utilization = %v, want ≈0", u2)
+	}
+}
+
+func TestPeak(t *testing.T) {
+	if Baseline().PeakMACsPerCycle() != 128*128 {
+		t.Fatal("peak wrong")
+	}
+}
+
+// Property: utilization never exceeds 1 and cycles are monotone in M.
+func TestUtilizationBoundedProperty(t *testing.T) {
+	a := Baseline()
+	f := func(m, k, n uint16) bool {
+		M, K, N := int64(m)+1, int64(k)+1, int64(n)+1
+		if a.Utilization(M, K, N) > 1.0000001 {
+			return false
+		}
+		return a.TileCycles(M+1, K, N) >= a.TileCycles(M, K, N)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package tensor models multi-dimensional tensors mapped onto linear
+// (1-D) memory, and the projection of tile-shaped views onto maximal
+// contiguous byte runs ("segments").
+//
+// This projection is the root cause of the paper's translation bursts
+// (§I, §III-C): "As these tiles are also multi-dimensional tensors,
+// fetching them into the scratchpad involves projecting the
+// multi-dimensional coordinates into the linear space of DRAM memory. A
+// single tile is therefore decomposed into [a] minimum number of
+// linearized memory transactions." The DMA model in internal/dma splits
+// each segment at page boundaries; each piece then needs one translation.
+package tensor
+
+import (
+	"fmt"
+
+	"neummu/internal/vm"
+)
+
+// Tensor is an N-dimensional row-major tensor placed at a virtual base
+// address. The last dimension is the fastest varying (innermost).
+type Tensor struct {
+	Name     string
+	Base     vm.VirtAddr
+	Dims     []int // extent of each dimension
+	ElemSize int   // bytes per element
+}
+
+// New validates and returns a tensor descriptor.
+func New(name string, base vm.VirtAddr, elemSize int, dims ...int) Tensor {
+	if elemSize <= 0 {
+		panic("tensor: element size must be positive")
+	}
+	if len(dims) == 0 {
+		panic("tensor: need at least one dimension")
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor %q: non-positive dimension %v", name, dims))
+		}
+	}
+	return Tensor{Name: name, Base: base, Dims: append([]int(nil), dims...), ElemSize: elemSize}
+}
+
+// Elems returns the total element count.
+func (t Tensor) Elems() int64 {
+	n := int64(1)
+	for _, d := range t.Dims {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Bytes returns the total footprint in bytes.
+func (t Tensor) Bytes() int64 { return t.Elems() * int64(t.ElemSize) }
+
+// Strides returns the element stride of each dimension (row-major).
+func (t Tensor) Strides() []int64 {
+	s := make([]int64, len(t.Dims))
+	acc := int64(1)
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= int64(t.Dims[i])
+	}
+	return s
+}
+
+// Addr returns the virtual address of the element at the given coordinates.
+func (t Tensor) Addr(coord ...int) vm.VirtAddr {
+	if len(coord) != len(t.Dims) {
+		panic("tensor: coordinate rank mismatch")
+	}
+	var off int64
+	strides := t.Strides()
+	for i, c := range coord {
+		if c < 0 || c >= t.Dims[i] {
+			panic(fmt.Sprintf("tensor %q: coordinate %d out of range", t.Name, i))
+		}
+		off += int64(c) * strides[i]
+	}
+	return t.Base + vm.VirtAddr(off*int64(t.ElemSize))
+}
+
+// Range is a half-open [Lo, Hi) interval over one dimension.
+type Range struct{ Lo, Hi int }
+
+// Len returns the interval's extent.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Full returns the complete range of extent n.
+func Full(n int) Range { return Range{0, n} }
+
+// View is a rectangular sub-tensor: one Range per dimension.
+type View struct {
+	T      Tensor
+	Ranges []Range
+}
+
+// ViewOf builds a view, validating rank and bounds.
+func ViewOf(t Tensor, ranges ...Range) View {
+	if len(ranges) != len(t.Dims) {
+		panic("tensor: view rank mismatch")
+	}
+	for i, r := range ranges {
+		if r.Lo < 0 || r.Hi > t.Dims[i] || r.Lo >= r.Hi {
+			panic(fmt.Sprintf("tensor %q: invalid range %v over dim %d (extent %d)",
+				t.Name, r, i, t.Dims[i]))
+		}
+	}
+	return View{T: t, Ranges: append([]Range(nil), ranges...)}
+}
+
+// Elems returns the element count of the view.
+func (v View) Elems() int64 {
+	n := int64(1)
+	for _, r := range v.Ranges {
+		n *= int64(r.Len())
+	}
+	return n
+}
+
+// Bytes returns the view's data volume.
+func (v View) Bytes() int64 { return v.Elems() * int64(v.T.ElemSize) }
+
+// Segment is a maximal contiguous byte run in virtual memory.
+type Segment struct {
+	VA    vm.VirtAddr
+	Bytes int64
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() vm.VirtAddr { return s.VA + vm.VirtAddr(s.Bytes) }
+
+// Segments projects the view onto linear memory and returns its maximal
+// contiguous byte runs in ascending address order. Adjacent runs merge:
+// a view that covers whole trailing dimensions collapses into fewer,
+// larger segments, exactly as a DMA engine would coalesce its descriptors.
+func (v View) Segments() []Segment {
+	// Find the largest suffix of dimensions that are fully covered; those
+	// collapse into the contiguous inner run.
+	nd := len(v.Ranges)
+	inner := int64(v.T.ElemSize)
+	d := nd - 1
+	for d >= 0 {
+		inner *= int64(v.Ranges[d].Len())
+		if v.Ranges[d].Len() != v.T.Dims[d] {
+			break
+		}
+		d--
+	}
+	// d is the innermost partially-covered dimension (or -1: whole tensor).
+	// inner is the byte length of one contiguous run: dim d's range length
+	// times the fully-covered extent of every dimension below it.
+	if d < 0 {
+		return []Segment{{VA: v.T.Base, Bytes: v.T.Bytes()}}
+	}
+	strides := v.T.Strides()
+	runStart := int64(v.Ranges[d].Lo) * strides[d]
+	// One run per coordinate of dimensions 0..d-1. Consecutive runs merge
+	// when exactly adjacent (e.g. when dim d covers its full extent but an
+	// outer dimension is partial).
+	var segs []Segment
+	coord := make([]int, d)
+	for i := 0; i < d; i++ {
+		coord[i] = v.Ranges[i].Lo
+	}
+	for {
+		off := runStart
+		for i := 0; i < d; i++ {
+			off += int64(coord[i]) * strides[i]
+		}
+		va := v.T.Base + vm.VirtAddr(off*int64(v.T.ElemSize))
+		if n := len(segs); n > 0 && segs[n-1].End() == va {
+			segs[n-1].Bytes += inner
+		} else {
+			segs = append(segs, Segment{VA: va, Bytes: inner})
+		}
+		// Advance odometer over dims d-1..0.
+		i := d - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < v.Ranges[i].Hi {
+				break
+			}
+			coord[i] = v.Ranges[i].Lo
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return segs
+}
+
+// DistinctPages returns the number of distinct pages the view touches
+// under the given page size (the paper's "page divergence", Fig 6).
+func (v View) DistinctPages(ps vm.PageSize) int {
+	pages := map[uint64]struct{}{}
+	for _, s := range v.Segments() {
+		first := vm.PageNumber(s.VA, ps)
+		last := vm.PageNumber(s.End()-1, ps)
+		for p := first; p <= last; p++ {
+			pages[p] = struct{}{}
+		}
+	}
+	return len(pages)
+}
+
+func (v View) String() string {
+	return fmt.Sprintf("View{%s %v}", v.T.Name, v.Ranges)
+}

@@ -1,0 +1,212 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neummu/internal/vm"
+)
+
+func TestTensorGeometry(t *testing.T) {
+	tn := New("IA", 0x1000, 2, 3, 4, 5)
+	if tn.Elems() != 60 || tn.Bytes() != 120 {
+		t.Fatalf("elems=%d bytes=%d", tn.Elems(), tn.Bytes())
+	}
+	s := tn.Strides()
+	if s[0] != 20 || s[1] != 5 || s[2] != 1 {
+		t.Fatalf("strides = %v", s)
+	}
+}
+
+func TestAddr(t *testing.T) {
+	tn := New("W", 0x1000, 4, 2, 3)
+	if got := tn.Addr(0, 0); got != 0x1000 {
+		t.Fatalf("Addr(0,0) = %#x", got)
+	}
+	if got := tn.Addr(1, 2); got != 0x1000+vm.VirtAddr((3+2)*4) {
+		t.Fatalf("Addr(1,2) = %#x", got)
+	}
+}
+
+func TestAddrPanicsOutOfRange(t *testing.T) {
+	tn := New("W", 0, 1, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tn.Addr(2, 0)
+}
+
+func TestWholeTensorViewIsOneSegment(t *testing.T) {
+	tn := New("IA", 0x4000, 1, 8, 16, 32)
+	v := ViewOf(tn, Full(8), Full(16), Full(32))
+	segs := v.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("whole-tensor view has %d segments, want 1", len(segs))
+	}
+	if segs[0].VA != 0x4000 || segs[0].Bytes != tn.Bytes() {
+		t.Fatalf("segment = %+v", segs[0])
+	}
+}
+
+func TestInnerPartialViewSegments(t *testing.T) {
+	// 4×8 matrix of 1-byte elements; columns 2..6 of each row are
+	// separate 4-byte runs.
+	tn := New("M", 0, 1, 4, 8)
+	v := ViewOf(tn, Full(4), Range{2, 6})
+	segs := v.Segments()
+	if len(segs) != 4 {
+		t.Fatalf("%d segments, want 4", len(segs))
+	}
+	for i, s := range segs {
+		wantVA := vm.VirtAddr(i*8 + 2)
+		if s.VA != wantVA || s.Bytes != 4 {
+			t.Fatalf("segment %d = %+v, want VA %#x len 4", i, s, wantVA)
+		}
+	}
+}
+
+func TestOuterPartialViewsMerge(t *testing.T) {
+	// Covering full trailing dims but a sub-range of the outer dim
+	// produces one merged segment.
+	tn := New("A", 0x100, 2, 10, 6, 7)
+	v := ViewOf(tn, Range{3, 7}, Full(6), Full(7))
+	segs := v.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1 merged run", len(segs))
+	}
+	if segs[0].VA != tn.Addr(3, 0, 0) || segs[0].Bytes != int64(4*6*7*2) {
+		t.Fatalf("segment = %+v", segs[0])
+	}
+}
+
+func TestMiddlePartialView(t *testing.T) {
+	// Partial middle dim: one run per outer coordinate.
+	tn := New("B", 0, 1, 3, 8, 4)
+	v := ViewOf(tn, Full(3), Range{1, 5}, Full(4))
+	segs := v.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("%d segments, want 3", len(segs))
+	}
+	if segs[0].VA != tn.Addr(0, 1, 0) || segs[0].Bytes != 16 {
+		t.Fatalf("segs[0] = %+v", segs[0])
+	}
+	if segs[1].VA != tn.Addr(1, 1, 0) {
+		t.Fatalf("segs[1] = %+v", segs[1])
+	}
+}
+
+func TestSegmentsAscendingAndDisjoint(t *testing.T) {
+	tn := New("C", 0x1000, 2, 5, 9, 11)
+	v := ViewOf(tn, Range{1, 4}, Range{2, 7}, Range{3, 9})
+	segs := v.Segments()
+	var total int64
+	for i, s := range segs {
+		if s.Bytes <= 0 {
+			t.Fatalf("segment %d empty", i)
+		}
+		if i > 0 && s.VA < segs[i-1].End() {
+			t.Fatalf("segments overlap or out of order at %d", i)
+		}
+		total += s.Bytes
+	}
+	if total != v.Bytes() {
+		t.Fatalf("segments cover %d bytes, view has %d", total, v.Bytes())
+	}
+}
+
+func TestDistinctPages(t *testing.T) {
+	// 3 segments of 100 bytes spaced a page apart each touch their own page.
+	tn := New("D", 0, 1, 3, 4096)
+	v := ViewOf(tn, Full(3), Range{0, 100})
+	if got := v.DistinctPages(vm.Page4K); got != 3 {
+		t.Fatalf("distinct pages = %d, want 3", got)
+	}
+	// A run crossing a page boundary touches two pages.
+	v2 := ViewOf(tn, Range{0, 1}, Range{4000, 4096})
+	if got := v2.DistinctPages(vm.Page4K); got != 1 {
+		t.Fatalf("distinct pages = %d, want 1", got)
+	}
+	tn2 := New("E", 4000, 1, 200)
+	v3 := ViewOf(tn2, Full(200))
+	if got := v3.DistinctPages(vm.Page4K); got != 2 {
+		t.Fatalf("page-crossing run: distinct pages = %d, want 2", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { New("x", 0, 0, 4) },
+		func() { New("x", 0, 4) },
+		func() { New("x", 0, 4, -1) },
+		func() { ViewOf(New("x", 0, 1, 4), Full(4), Full(4)) },
+		func() { ViewOf(New("x", 0, 1, 4), Range{2, 2}) },
+		func() { ViewOf(New("x", 0, 1, 4), Range{0, 5}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for random 3-D tensors and views, the segment list (a) covers
+// exactly the view's byte volume, (b) is ascending and non-overlapping,
+// and (c) every segment lies within the tensor's footprint.
+func TestSegmentsCoverageProperty(t *testing.T) {
+	f := func(d0, d1, d2, a, b, c uint8) bool {
+		dims := []int{int(d0%6) + 1, int(d1%6) + 1, int(d2%6) + 1}
+		tn := New("P", 0x10000, 3, dims...)
+		rng := func(sel uint8, n int) Range {
+			lo := int(sel) % n
+			hi := lo + 1 + int(sel/16)%(n-lo)
+			return Range{lo, hi}
+		}
+		v := ViewOf(tn, rng(a, dims[0]), rng(b, dims[1]), rng(c, dims[2]))
+		segs := v.Segments()
+		var total int64
+		for i, s := range segs {
+			total += s.Bytes
+			if i > 0 && s.VA < segs[i-1].End() {
+				return false
+			}
+			if s.VA < tn.Base || s.End() > tn.Base+vm.VirtAddr(tn.Bytes()) {
+				return false
+			}
+		}
+		return total == v.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DistinctPages is at least ceil(bytes/pagesize) over the
+// smallest possible footprint and at most bytes worth of pages plus one
+// per segment.
+func TestDistinctPagesBoundsProperty(t *testing.T) {
+	f := func(d0, d1 uint8, lo, hi uint8) bool {
+		dims := []int{int(d0%8) + 1, int(d1)%2000 + 1}
+		tn := New("Q", 0x7000, 1, dims...)
+		l := int(lo) % dims[1]
+		h := l + 1 + int(hi)%(dims[1]-l)
+		v := ViewOf(tn, Full(dims[0]), Range{l, h})
+		segs := v.Segments()
+		pages := v.DistinctPages(vm.Page4K)
+		minPages := int((v.Bytes() + 4095) / 4096)
+		maxPages := 0
+		for _, s := range segs {
+			maxPages += int(s.Bytes/4096) + 2
+		}
+		return pages >= minPages/len(segs) && pages <= maxPages && pages >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package vm implements the virtual-memory substrate the MMU models walk:
+// 64-bit virtual and physical addresses, 4 KB and 2 MB page geometry, an
+// x86-64 style 4-level radix page table, and simple address-space and
+// physical-frame allocators.
+//
+// The paper assumes "an x86-64 style, hierarchical 4-level page-tables"
+// (§II-C): a 48-bit virtual address whose low 12 bits are the page offset
+// and whose upper 36 bits split into four 9-bit indices selecting entries
+// at the L4 (root), L3, L2, and L1 levels of the radix tree. Large (2 MB)
+// pages terminate the walk at L2, consuming the low 21 bits as offset.
+package vm
+
+import "fmt"
+
+// VirtAddr is a virtual address in the unified CPU/NPU address space.
+type VirtAddr uint64
+
+// PhysAddr is a physical address in some device's local memory.
+type PhysAddr uint64
+
+// PageSize enumerates the page granularities the system supports.
+type PageSize int
+
+const (
+	// Page4K is the baseline small page (12 offset bits).
+	Page4K PageSize = 4 << 10
+	// Page2M is the x86-64 large page (21 offset bits).
+	Page2M PageSize = 2 << 20
+)
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 { return uint64(s) }
+
+// OffsetBits returns the number of page-offset bits.
+func (s PageSize) OffsetBits() uint {
+	switch s {
+	case Page4K:
+		return 12
+	case Page2M:
+		return 21
+	default:
+		panic(fmt.Sprintf("vm: unsupported page size %d", s))
+	}
+}
+
+// Levels returns the number of page-table levels a walk traverses for this
+// page size: 4 for 4 KB pages (L4→L3→L2→L1) and 3 for 2 MB pages
+// (L4→L3→L2, where the L2 entry maps the page directly).
+func (s PageSize) Levels() int {
+	if s == Page2M {
+		return 3
+	}
+	return 4
+}
+
+func (s PageSize) String() string {
+	if s == Page2M {
+		return "2MB"
+	}
+	return "4KB"
+}
+
+// PageNumber returns the virtual page number of va under page size s.
+func PageNumber(va VirtAddr, s PageSize) uint64 {
+	return uint64(va) >> s.OffsetBits()
+}
+
+// PageBase returns the first address of the page containing va.
+func PageBase(va VirtAddr, s PageSize) VirtAddr {
+	return va &^ VirtAddr(s.Bytes()-1)
+}
+
+// PageOffset returns va's offset within its page.
+func PageOffset(va VirtAddr, s PageSize) uint64 {
+	return uint64(va) & (s.Bytes() - 1)
+}
+
+// Indices decomposes a virtual address into its radix-tree indices
+// (L4, L3, L2, L1), each 9 bits wide. For 2 MB pages the L1 index is
+// meaningless and callers should ignore it.
+type Indices struct {
+	L4, L3, L2, L1 uint16
+}
+
+// Decompose extracts the four 9-bit page-table indices from va.
+func Decompose(va VirtAddr) Indices {
+	return Indices{
+		L4: uint16(uint64(va) >> 39 & 0x1FF),
+		L3: uint16(uint64(va) >> 30 & 0x1FF),
+		L2: uint16(uint64(va) >> 21 & 0x1FF),
+		L1: uint16(uint64(va) >> 12 & 0x1FF),
+	}
+}
+
+// UpperPath reports whether two addresses share the same L4/L3/L2 indices,
+// i.e. whether a translation-path register loaded for one could serve the
+// other without re-walking the upper levels.
+func UpperPath(a, b VirtAddr) bool {
+	ia, ib := Decompose(a), Decompose(b)
+	return ia.L4 == ib.L4 && ia.L3 == ib.L3 && ia.L2 == ib.L2
+}

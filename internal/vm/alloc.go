@@ -1,0 +1,112 @@
+package vm
+
+import "fmt"
+
+// Space is a bump allocator over a virtual address space, used by the
+// runtime model to place tensors (input activations, weights, output
+// activations, embedding tables) into distinct VA regions. Allocations are
+// page-aligned; the allocator optionally inserts a guard gap between
+// regions so distinct tensors never share a page.
+type Space struct {
+	next     VirtAddr
+	pageSize PageSize
+	guard    uint64
+	regions  []Region
+}
+
+// Region describes one allocated VA range.
+type Region struct {
+	Name string
+	Base VirtAddr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() VirtAddr { return r.Base + VirtAddr(r.Size) }
+
+// Contains reports whether va falls inside the region.
+func (r Region) Contains(va VirtAddr) bool { return va >= r.Base && va < r.End() }
+
+// NewSpace returns an address-space allocator that hands out page-aligned
+// regions starting at base, with a one-page guard gap between regions.
+func NewSpace(base VirtAddr, pageSize PageSize) *Space {
+	return &Space{
+		next:     PageBase(base+VirtAddr(pageSize.Bytes()-1), pageSize),
+		pageSize: pageSize,
+		guard:    pageSize.Bytes(),
+	}
+}
+
+// Alloc reserves size bytes (rounded up to the page size) and records the
+// region under name.
+func (s *Space) Alloc(name string, size uint64) Region {
+	if size == 0 {
+		size = 1
+	}
+	ps := s.pageSize.Bytes()
+	rounded := (size + ps - 1) / ps * ps
+	r := Region{Name: name, Base: s.next, Size: rounded}
+	s.regions = append(s.regions, r)
+	s.next += VirtAddr(rounded + s.guard)
+	return r
+}
+
+// Regions returns all allocated regions in allocation order.
+func (s *Space) Regions() []Region { return s.regions }
+
+// Find returns the region containing va, if any.
+func (s *Space) Find(va VirtAddr) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Contains(va) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// FrameAllocator hands out physical frames from a device's local memory.
+// Frames are allocated sequentially; an optional stride scrambles
+// contiguity to model a fragmented physical memory (physical contiguity is
+// irrelevant to the MMU models, which operate on page granularity, but the
+// scramble guards tests against accidentally relying on it).
+type FrameAllocator struct {
+	next     PhysAddr
+	limit    PhysAddr
+	pageSize PageSize
+	device   int
+}
+
+// NewFrameAllocator returns an allocator over [0, capacity) bytes of
+// physical memory belonging to the given device.
+func NewFrameAllocator(capacity uint64, pageSize PageSize, device int) *FrameAllocator {
+	return &FrameAllocator{limit: PhysAddr(capacity), pageSize: pageSize, device: device}
+}
+
+// Device returns the device this allocator's frames belong to.
+func (f *FrameAllocator) Device() int { return f.device }
+
+// Alloc returns the next free frame. It panics if physical memory is
+// exhausted: the dense-workload experiments size memory so this cannot
+// happen, and the demand-paging study uses its own eviction policy.
+func (f *FrameAllocator) Alloc() PhysAddr {
+	if f.next+PhysAddr(f.pageSize.Bytes()) > f.limit {
+		panic(fmt.Sprintf("vm: device %d out of physical memory (%d bytes)", f.device, f.limit))
+	}
+	frame := f.next
+	f.next += PhysAddr(f.pageSize.Bytes())
+	return frame
+}
+
+// Allocated reports the number of bytes handed out so far.
+func (f *FrameAllocator) Allocated() uint64 { return uint64(f.next) }
+
+// MapRegion backs every page of region r with freshly allocated frames in
+// pt. It returns the number of pages mapped.
+func MapRegion(pt *PageTable, f *FrameAllocator, r Region, size PageSize) int {
+	n := 0
+	for va := PageBase(r.Base, size); va < r.End(); va += VirtAddr(size.Bytes()) {
+		pt.Map(va, f.Alloc(), size, f.device)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotMapped is returned by walks of unmapped virtual addresses. In the
+// full system this becomes a page fault delivered to the runtime (used by
+// the demand-paging case study in internal/numa).
+var ErrNotMapped = errors.New("vm: address not mapped")
+
+// Entry is a leaf page-table entry.
+type Entry struct {
+	Frame PhysAddr // physical base of the mapped page
+	Size  PageSize // granularity at which the mapping terminates
+	// Device identifies which physical memory the frame lives in
+	// (0 = local NPU memory; used by the NUMA case study to mark pages
+	// resident on a remote NPU or on the host).
+	Device int
+}
+
+type l1Table struct {
+	entries [512]*Entry
+}
+
+type l2Table struct {
+	next [512]*l1Table
+	huge [512]*Entry // 2 MB mappings terminate here
+}
+
+type l3Table struct {
+	next [512]*l2Table
+}
+
+// PageTable is an x86-64 style 4-level radix page table.
+//
+// It is a functional model: it stores mappings and answers walks, and it
+// reports how many node lookups a hardware walk starting from a given
+// cached level would perform. Timing is applied by internal/walker.
+type PageTable struct {
+	root [512]*l3Table
+
+	mapped4K int
+	mapped2M int
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{}
+}
+
+// Map installs a translation for the page containing va. The address is
+// truncated to its page base. Mapping an already-mapped page overwrites
+// the previous entry (as a remap would after migration).
+func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int) {
+	idx := Decompose(va)
+	l3 := pt.root[idx.L4]
+	if l3 == nil {
+		l3 = &l3Table{}
+		pt.root[idx.L4] = l3
+	}
+	l2 := l3.next[idx.L3]
+	if l2 == nil {
+		l2 = &l2Table{}
+		l3.next[idx.L3] = l2
+	}
+	if size == Page2M {
+		if l2.huge[idx.L2] == nil {
+			pt.mapped2M++
+		}
+		l2.huge[idx.L2] = &Entry{Frame: frame &^ PhysAddr(Page2M.Bytes()-1), Size: Page2M, Device: device}
+		return
+	}
+	l1 := l2.next[idx.L2]
+	if l1 == nil {
+		l1 = &l1Table{}
+		l2.next[idx.L2] = l1
+	}
+	if l1.entries[idx.L1] == nil {
+		pt.mapped4K++
+	}
+	l1.entries[idx.L1] = &Entry{Frame: frame &^ PhysAddr(Page4K.Bytes()-1), Size: Page4K, Device: device}
+}
+
+// Unmap removes the translation for the page containing va, if any.
+func (pt *PageTable) Unmap(va VirtAddr, size PageSize) {
+	idx := Decompose(va)
+	l3 := pt.root[idx.L4]
+	if l3 == nil {
+		return
+	}
+	l2 := l3.next[idx.L3]
+	if l2 == nil {
+		return
+	}
+	if size == Page2M {
+		if l2.huge[idx.L2] != nil {
+			pt.mapped2M--
+			l2.huge[idx.L2] = nil
+		}
+		return
+	}
+	l1 := l2.next[idx.L2]
+	if l1 == nil {
+		return
+	}
+	if l1.entries[idx.L1] != nil {
+		pt.mapped4K--
+		l1.entries[idx.L1] = nil
+	}
+}
+
+// Walk resolves va to its leaf entry, also reporting the number of
+// page-table node accesses a full hardware walk performs (4 for a 4 KB
+// mapping, 3 for a 2 MB mapping).
+func (pt *PageTable) Walk(va VirtAddr) (Entry, int, error) {
+	idx := Decompose(va)
+	l3 := pt.root[idx.L4]
+	if l3 == nil {
+		return Entry{}, 1, ErrNotMapped
+	}
+	l2 := l3.next[idx.L3]
+	if l2 == nil {
+		return Entry{}, 2, ErrNotMapped
+	}
+	if e := l2.huge[idx.L2]; e != nil {
+		return *e, 3, nil
+	}
+	l1 := l2.next[idx.L2]
+	if l1 == nil {
+		return Entry{}, 3, ErrNotMapped
+	}
+	e := l1.entries[idx.L1]
+	if e == nil {
+		return Entry{}, 4, ErrNotMapped
+	}
+	return *e, 4, nil
+}
+
+// Translate resolves a full virtual address to a physical address.
+func (pt *PageTable) Translate(va VirtAddr) (PhysAddr, error) {
+	e, _, err := pt.Walk(va)
+	if err != nil {
+		return 0, err
+	}
+	return e.Frame + PhysAddr(PageOffset(va, e.Size)), nil
+}
+
+// Mapped4K and Mapped2M report the number of live leaf mappings at each
+// granularity.
+func (pt *PageTable) Mapped4K() int { return pt.mapped4K }
+
+// Mapped2M reports the number of live 2 MB mappings.
+func (pt *PageTable) Mapped2M() int { return pt.mapped2M }
+
+func (pt *PageTable) String() string {
+	return fmt.Sprintf("PageTable{4K:%d 2M:%d}", pt.mapped4K, pt.mapped2M)
+}

@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page2M.Bytes() != 2097152 {
+		t.Fatal("page sizes wrong")
+	}
+	if Page4K.OffsetBits() != 12 || Page2M.OffsetBits() != 21 {
+		t.Fatal("offset bits wrong")
+	}
+	if Page4K.Levels() != 4 || Page2M.Levels() != 3 {
+		t.Fatal("walk levels wrong")
+	}
+	if Page4K.String() != "4KB" || Page2M.String() != "2MB" {
+		t.Fatal("page size names wrong")
+	}
+}
+
+func TestPageNumberAndBase(t *testing.T) {
+	va := VirtAddr(0x12345)
+	if PageNumber(va, Page4K) != 0x12 {
+		t.Fatalf("PageNumber = %#x, want 0x12", PageNumber(va, Page4K))
+	}
+	if PageBase(va, Page4K) != 0x12000 {
+		t.Fatalf("PageBase = %#x, want 0x12000", PageBase(va, Page4K))
+	}
+	if PageOffset(va, Page4K) != 0x345 {
+		t.Fatalf("PageOffset = %#x, want 0x345", PageOffset(va, Page4K))
+	}
+}
+
+func TestDecomposeRoundTrip(t *testing.T) {
+	// Property: reassembling the indices and offset reproduces the address
+	// for any canonical 48-bit VA.
+	f := func(raw uint64) bool {
+		va := VirtAddr(raw & ((1 << 48) - 1))
+		ix := Decompose(va)
+		re := uint64(ix.L4)<<39 | uint64(ix.L3)<<30 | uint64(ix.L2)<<21 |
+			uint64(ix.L1)<<12 | PageOffset(va, Page4K)
+		return VirtAddr(re) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperPath(t *testing.T) {
+	base := VirtAddr(0x7f00_1234_5000)
+	if !UpperPath(base, base+0x1000) {
+		t.Error("adjacent 4K pages inside one 2MB region must share upper path")
+	}
+	if UpperPath(base, base+VirtAddr(Page2M.Bytes())) {
+		t.Error("addresses 2MB apart must differ at L2")
+	}
+}
+
+func TestPageTableMapWalk4K(t *testing.T) {
+	pt := NewPageTable()
+	va := VirtAddr(0x4000_1234)
+	pt.Map(va, 0xABC000, Page4K, 0)
+	e, levels, err := pt.Walk(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 4 {
+		t.Fatalf("4K walk touched %d levels, want 4", levels)
+	}
+	if e.Frame != 0xABC000 || e.Size != Page4K {
+		t.Fatalf("bad entry %+v", e)
+	}
+	pa, err := pt.Translate(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0xABC234 {
+		t.Fatalf("Translate = %#x, want 0xABC234", pa)
+	}
+}
+
+func TestPageTableMapWalk2M(t *testing.T) {
+	pt := NewPageTable()
+	va := VirtAddr(0x8000_0000)
+	pt.Map(va+12345, 0x4000_0000, Page2M, 2)
+	e, levels, err := pt.Walk(va + 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 3 {
+		t.Fatalf("2M walk touched %d levels, want 3", levels)
+	}
+	if e.Device != 2 {
+		t.Fatalf("device = %d, want 2", e.Device)
+	}
+	pa, err := pt.Translate(va + 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x4000_0000+999 {
+		t.Fatalf("Translate = %#x", pa)
+	}
+}
+
+func TestPageTableUnmapped(t *testing.T) {
+	pt := NewPageTable()
+	if _, _, err := pt.Walk(0xdead000); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("walk of unmapped address: err = %v, want ErrNotMapped", err)
+	}
+	pt.Map(0x1000_0000, 0, Page4K, 0)
+	// A neighbour in the same L1 table but different slot is still unmapped.
+	if _, _, err := pt.Walk(0x1000_2000); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("neighbour walk: err = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestPageTableUnmap(t *testing.T) {
+	pt := NewPageTable()
+	va := VirtAddr(0x5000_0000)
+	pt.Map(va, 0x1000, Page4K, 0)
+	if pt.Mapped4K() != 1 {
+		t.Fatalf("Mapped4K = %d, want 1", pt.Mapped4K())
+	}
+	pt.Unmap(va, Page4K)
+	if pt.Mapped4K() != 0 {
+		t.Fatalf("Mapped4K after unmap = %d, want 0", pt.Mapped4K())
+	}
+	if _, _, err := pt.Walk(va); !errors.Is(err, ErrNotMapped) {
+		t.Fatal("walk after unmap should fail")
+	}
+	// Unmapping twice (or an address never mapped) is a no-op.
+	pt.Unmap(va, Page4K)
+	pt.Unmap(0xFFFF_F000, Page4K)
+	pt.Unmap(0xFFFF_F000, Page2M)
+}
+
+func TestPageTableRemapOverwrites(t *testing.T) {
+	pt := NewPageTable()
+	va := VirtAddr(0x6000_0000)
+	pt.Map(va, 0x1000, Page4K, 1)
+	pt.Map(va, 0x2000, Page4K, 0)
+	if pt.Mapped4K() != 1 {
+		t.Fatalf("remap double-counted: Mapped4K = %d", pt.Mapped4K())
+	}
+	e, _, _ := pt.Walk(va)
+	if e.Frame != 0x2000 || e.Device != 0 {
+		t.Fatalf("remap not visible: %+v", e)
+	}
+}
+
+func TestPageTableHugeTakesPrecedence(t *testing.T) {
+	pt := NewPageTable()
+	va := VirtAddr(0xC000_0000)
+	pt.Map(va, 0x10_0000_0000, Page2M, 0)
+	e, levels, err := pt.Walk(va + 0x3000) // inside the huge page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size != Page2M || levels != 3 {
+		t.Fatalf("expected 2M mapping, got %+v at %d levels", e, levels)
+	}
+	if pt.Mapped2M() != 1 {
+		t.Fatalf("Mapped2M = %d", pt.Mapped2M())
+	}
+}
+
+// Property: mapping any set of distinct 4K pages then walking each returns
+// the frame it was mapped to.
+func TestPageTableMapWalkProperty(t *testing.T) {
+	f := func(pages []uint32) bool {
+		pt := NewPageTable()
+		want := map[VirtAddr]PhysAddr{}
+		for i, p := range pages {
+			va := PageBase(VirtAddr(p)<<8, Page4K) // spread across the space
+			pa := PhysAddr(i+1) << 12
+			pt.Map(va, pa, Page4K, 0)
+			want[va] = pa
+		}
+		for va, pa := range want {
+			e, _, err := pt.Walk(va)
+			if err != nil || e.Frame != pa {
+				return false
+			}
+		}
+		return pt.Mapped4K() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAllocationsDisjointAndAligned(t *testing.T) {
+	s := NewSpace(0x10000, Page4K)
+	a := s.Alloc("IA", 5<<20)
+	b := s.Alloc("W", 3<<20)
+	if a.Base%VirtAddr(Page4K.Bytes()) != 0 || b.Base%VirtAddr(Page4K.Bytes()) != 0 {
+		t.Fatal("regions not page aligned")
+	}
+	if b.Base < a.End() {
+		t.Fatal("regions overlap")
+	}
+	if PageNumber(a.End()-1, Page4K) == PageNumber(b.Base, Page4K) {
+		t.Fatal("guard gap missing: tensors share a page")
+	}
+	if got, ok := s.Find(a.Base + 100); !ok || got.Name != "IA" {
+		t.Fatalf("Find failed: %+v %v", got, ok)
+	}
+	if _, ok := s.Find(a.End()); ok {
+		t.Fatal("Find matched guard gap")
+	}
+	if len(s.Regions()) != 2 {
+		t.Fatal("Regions() wrong length")
+	}
+}
+
+func TestSpaceZeroSizeAlloc(t *testing.T) {
+	s := NewSpace(0, Page4K)
+	r := s.Alloc("empty", 0)
+	if r.Size != Page4K.Bytes() {
+		t.Fatalf("zero-size alloc rounded to %d, want one page", r.Size)
+	}
+}
+
+func TestFrameAllocatorSequential(t *testing.T) {
+	f := NewFrameAllocator(1<<20, Page4K, 3)
+	a, b := f.Alloc(), f.Alloc()
+	if b != a+PhysAddr(Page4K.Bytes()) {
+		t.Fatalf("frames not sequential: %#x then %#x", a, b)
+	}
+	if f.Device() != 3 {
+		t.Fatal("device lost")
+	}
+	if f.Allocated() != 2*Page4K.Bytes() {
+		t.Fatalf("Allocated = %d", f.Allocated())
+	}
+}
+
+func TestFrameAllocatorExhaustionPanics(t *testing.T) {
+	f := NewFrameAllocator(Page4K.Bytes(), Page4K, 0)
+	f.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	f.Alloc()
+}
+
+func TestMapRegionBacksEveryPage(t *testing.T) {
+	pt := NewPageTable()
+	fa := NewFrameAllocator(64<<20, Page4K, 0)
+	s := NewSpace(0x100000, Page4K)
+	r := s.Alloc("IA", 10*Page4K.Bytes()+5)
+	n := MapRegion(pt, fa, r, Page4K)
+	if n != 11 {
+		t.Fatalf("mapped %d pages, want 11", n)
+	}
+	for va := r.Base; va < r.End(); va += 4096 {
+		if _, err := pt.Translate(va); err != nil {
+			t.Fatalf("page at %#x not mapped", va)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package walker implements the page-table-walk machinery at the heart of
+// NeuMMU (§IV): a pool of parallel hardware page-table walkers (PTWs), the
+// Pending Translation Scoreboard (PTS) that tracks in-flight walks, the
+// per-walker Pending Request Merging Buffer (PRMB) that merges translation
+// requests to pages already being walked, and the family of
+// translation-path caches (TPreg, TPC, UPTC) that let a walk skip upper
+// levels of the x86-64 radix tree.
+package walker
+
+import (
+	"neummu/internal/vm"
+)
+
+// PathKind selects a translation-path caching microarchitecture.
+type PathKind int
+
+const (
+	// PathNone disables translation-path caching: every walk touches
+	// every level. This is the baseline IOMMU configuration.
+	PathNone PathKind = iota
+	// PathTPreg is the paper's proposal: a single register per PTW that
+	// holds the upper-level path (L4/L3/L2 indices) of that walker's most
+	// recent walk (§IV-C, "translation path registers, not caches").
+	PathTPreg
+	// PathTPC is an Intel-style translation-path cache: a small shared,
+	// fully-associative cache of complete paths tagged by the virtual
+	// L4/L3/L2 indices, with longest-prefix matching (Barr et al. [23]).
+	PathTPC
+	// PathUPTC is an AMD-style unified page-table cache: individual
+	// page-table entries tagged by their location, one lookup per level.
+	PathUPTC
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case PathTPreg:
+		return "TPreg"
+	case PathTPC:
+		return "TPC"
+	case PathUPTC:
+		return "UPTC"
+	default:
+		return "none"
+	}
+}
+
+// PathStats records per-level tag-match rates for Figure 13.
+type PathStats struct {
+	Probes  int64
+	L4Hits  int64 // walks whose L4 index matched
+	L3Hits  int64 // walks whose L4+L3 indices matched
+	L2Hits  int64 // walks whose full L4+L3+L2 path matched
+	Updates int64
+}
+
+// Rates returns the (L4, L3, L2) hit rates.
+func (s PathStats) Rates() (l4, l3, l2 float64) {
+	if s.Probes == 0 {
+		return 0, 0, 0
+	}
+	p := float64(s.Probes)
+	return float64(s.L4Hits) / p, float64(s.L3Hits) / p, float64(s.L2Hits) / p
+}
+
+// SkippedLevels returns the total page-table node accesses avoided across
+// all probes (each matched level is one avoided access).
+func (s PathStats) SkippedLevels() int64 {
+	return s.L4Hits + s.L3Hits + s.L2Hits
+}
+
+// PathCache is the interface all three microarchitectures implement.
+//
+// Probe returns how many consecutive upper levels (starting at L4, max 3)
+// of a walk for the given indices can be skipped. Update installs the path
+// of a completed walk.
+type PathCache interface {
+	Probe(ix vm.Indices) int
+	Update(ix vm.Indices)
+	Stats() PathStats
+}
+
+// nonePath performs no caching.
+type nonePath struct{ s PathStats }
+
+func (n *nonePath) Probe(vm.Indices) int { n.s.Probes++; return 0 }
+func (n *nonePath) Update(vm.Indices)    { n.s.Updates++ }
+func (n *nonePath) Stats() PathStats     { return n.s }
+
+// TPreg is a single-entry translation path register: 16 bytes per PTW
+// holding the L4/L3/L2 indices and the cached intermediate pointers of the
+// walker's most recent walk.
+type TPreg struct {
+	valid bool
+	path  vm.Indices
+	s     PathStats
+}
+
+// NewTPreg returns an empty translation path register.
+func NewTPreg() *TPreg { return &TPreg{} }
+
+// Probe implements PathCache using longest-prefix matching against the
+// single stored path.
+func (r *TPreg) Probe(ix vm.Indices) int {
+	r.s.Probes++
+	if !r.valid {
+		return 0
+	}
+	return r.score(ix)
+}
+
+func (r *TPreg) score(ix vm.Indices) int {
+	if r.path.L4 != ix.L4 {
+		return 0
+	}
+	r.s.L4Hits++
+	if r.path.L3 != ix.L3 {
+		return 1
+	}
+	r.s.L3Hits++
+	if r.path.L2 != ix.L2 {
+		return 2
+	}
+	r.s.L2Hits++
+	return 3
+}
+
+// Update implements PathCache.
+func (r *TPreg) Update(ix vm.Indices) {
+	r.s.Updates++
+	r.valid = true
+	r.path = ix
+}
+
+// Stats implements PathCache.
+func (r *TPreg) Stats() PathStats { return r.s }
+
+// TPC is a fully-associative multi-entry translation-path cache with LRU
+// replacement and longest-prefix matching: the generalization of TPreg to
+// n entries.
+type TPC struct {
+	entries []vm.Indices
+	valid   []bool
+	lru     []uint64
+	tick    uint64
+	s       PathStats
+}
+
+// NewTPC returns a translation-path cache with n entries.
+func NewTPC(n int) *TPC {
+	if n <= 0 {
+		panic("walker: TPC needs at least one entry")
+	}
+	return &TPC{
+		entries: make([]vm.Indices, n),
+		valid:   make([]bool, n),
+		lru:     make([]uint64, n),
+	}
+}
+
+// Probe implements PathCache: it returns the best prefix match across all
+// entries and counts level hits for the best-matching entry.
+func (c *TPC) Probe(ix vm.Indices) int {
+	c.s.Probes++
+	c.tick++
+	best, bestIdx := 0, -1
+	for i := range c.entries {
+		if !c.valid[i] {
+			continue
+		}
+		m := prefixMatch(c.entries[i], ix)
+		if m > best {
+			best, bestIdx = m, i
+		}
+	}
+	if bestIdx >= 0 {
+		c.lru[bestIdx] = c.tick
+	}
+	if best >= 1 {
+		c.s.L4Hits++
+	}
+	if best >= 2 {
+		c.s.L3Hits++
+	}
+	if best >= 3 {
+		c.s.L2Hits++
+	}
+	return best
+}
+
+// Update implements PathCache, installing the path with LRU replacement.
+func (c *TPC) Update(ix vm.Indices) {
+	c.s.Updates++
+	c.tick++
+	victim := 0
+	for i := range c.entries {
+		if c.valid[i] && samePath(c.entries[i], ix) {
+			c.lru[i] = c.tick
+			return
+		}
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.entries[victim] = ix
+	c.valid[victim] = true
+	c.lru[victim] = c.tick
+}
+
+// Stats implements PathCache.
+func (c *TPC) Stats() PathStats { return c.s }
+
+// UPTC is an AMD-style unified page-table cache: it caches individual
+// upper-level page-table entries keyed by their position in the radix
+// tree, so a walk probes once per level and may hit some levels and miss
+// others. Only consecutive hits starting from L4 allow skipping, since a
+// walk cannot resume below a missing intermediate pointer.
+type UPTC struct {
+	capacity int
+	lru      map[uint64]uint64
+	tick     uint64
+	s        PathStats
+}
+
+// NewUPTC returns a unified page-table cache with the given entry count.
+func NewUPTC(capacity int) *UPTC {
+	if capacity <= 0 {
+		panic("walker: UPTC needs at least one entry")
+	}
+	return &UPTC{capacity: capacity, lru: make(map[uint64]uint64)}
+}
+
+func uptcKey(level int, ix vm.Indices) uint64 {
+	switch level {
+	case 4:
+		return 4<<60 | uint64(ix.L4)
+	case 3:
+		return 3<<60 | uint64(ix.L4)<<9 | uint64(ix.L3)
+	default:
+		return 2<<60 | uint64(ix.L4)<<18 | uint64(ix.L3)<<9 | uint64(ix.L2)
+	}
+}
+
+// Probe implements PathCache.
+func (c *UPTC) Probe(ix vm.Indices) int {
+	c.s.Probes++
+	c.tick++
+	skip := 0
+	for _, level := range []int{4, 3, 2} {
+		k := uptcKey(level, ix)
+		if _, ok := c.lru[k]; !ok {
+			break
+		}
+		c.lru[k] = c.tick
+		skip++
+	}
+	if skip >= 1 {
+		c.s.L4Hits++
+	}
+	if skip >= 2 {
+		c.s.L3Hits++
+	}
+	if skip >= 3 {
+		c.s.L2Hits++
+	}
+	return skip
+}
+
+// Update implements PathCache, installing all three upper-level entries.
+func (c *UPTC) Update(ix vm.Indices) {
+	c.s.Updates++
+	for _, level := range []int{4, 3, 2} {
+		c.tick++
+		k := uptcKey(level, ix)
+		if _, ok := c.lru[k]; !ok && len(c.lru) >= c.capacity {
+			c.evictLRU()
+		}
+		c.lru[k] = c.tick
+	}
+}
+
+func (c *UPTC) evictLRU() {
+	var victim uint64
+	oldest := ^uint64(0)
+	for k, t := range c.lru {
+		if t < oldest {
+			oldest, victim = t, k
+		}
+	}
+	delete(c.lru, victim)
+}
+
+// Stats implements PathCache.
+func (c *UPTC) Stats() PathStats { return c.s }
+
+func prefixMatch(a, b vm.Indices) int {
+	if a.L4 != b.L4 {
+		return 0
+	}
+	if a.L3 != b.L3 {
+		return 1
+	}
+	if a.L2 != b.L2 {
+		return 2
+	}
+	return 3
+}
+
+func samePath(a, b vm.Indices) bool {
+	return a.L4 == b.L4 && a.L3 == b.L3 && a.L2 == b.L2
+}

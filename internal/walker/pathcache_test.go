@@ -1,0 +1,196 @@
+package walker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neummu/internal/vm"
+)
+
+func ix(l4, l3, l2, l1 uint16) vm.Indices {
+	return vm.Indices{L4: l4, L3: l3, L2: l2, L1: l1}
+}
+
+func TestTPregColdMiss(t *testing.T) {
+	r := NewTPreg()
+	if r.Probe(ix(1, 2, 3, 4)) != 0 {
+		t.Fatal("cold TPreg must not skip levels")
+	}
+}
+
+func TestTPregPrefixMatching(t *testing.T) {
+	r := NewTPreg()
+	r.Update(ix(1, 2, 3, 0))
+	cases := []struct {
+		probe vm.Indices
+		want  int
+	}{
+		{ix(1, 2, 3, 9), 3}, // full upper path match
+		{ix(1, 2, 9, 0), 2}, // L4+L3
+		{ix(1, 9, 3, 0), 1}, // L4 only; L2 match without L3 doesn't help
+		{ix(9, 2, 3, 0), 0}, // different root
+	}
+	for _, c := range cases {
+		if got := r.Probe(c.probe); got != c.want {
+			t.Errorf("Probe(%v) = %d, want %d", c.probe, got, c.want)
+		}
+	}
+}
+
+func TestTPregSingleEntryReplacement(t *testing.T) {
+	r := NewTPreg()
+	r.Update(ix(1, 1, 1, 0))
+	r.Update(ix(2, 2, 2, 0))
+	if r.Probe(ix(1, 1, 1, 0)) != 0 {
+		t.Fatal("TPreg held more than one path")
+	}
+	if r.Probe(ix(2, 2, 2, 0)) != 3 {
+		t.Fatal("TPreg lost the most recent path")
+	}
+}
+
+func TestTPregStats(t *testing.T) {
+	r := NewTPreg()
+	r.Update(ix(1, 2, 3, 0))
+	r.Probe(ix(1, 2, 3, 0))
+	r.Probe(ix(1, 2, 9, 0))
+	r.Probe(ix(9, 9, 9, 0))
+	s := r.Stats()
+	if s.Probes != 3 || s.L4Hits != 2 || s.L3Hits != 2 || s.L2Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	l4, l3, l2 := s.Rates()
+	if l4 < 0.66 || l3 < 0.66 || l2 < 0.33 || l2 > 0.34 {
+		t.Fatalf("rates = %v %v %v", l4, l3, l2)
+	}
+	if s.SkippedLevels() != 5 {
+		t.Fatalf("skipped = %d, want 5", s.SkippedLevels())
+	}
+}
+
+func TestTPCHoldsMultiplePaths(t *testing.T) {
+	c := NewTPC(2)
+	c.Update(ix(1, 1, 1, 0))
+	c.Update(ix(2, 2, 2, 0))
+	if c.Probe(ix(1, 1, 1, 0)) != 3 || c.Probe(ix(2, 2, 2, 0)) != 3 {
+		t.Fatal("2-entry TPC must hold both paths")
+	}
+}
+
+func TestTPCLRUReplacement(t *testing.T) {
+	c := NewTPC(2)
+	c.Update(ix(1, 1, 1, 0))
+	c.Update(ix(2, 2, 2, 0))
+	c.Probe(ix(1, 1, 1, 0)) // path 1 now MRU
+	c.Update(ix(3, 3, 3, 0))
+	if c.Probe(ix(2, 2, 2, 0)) != 0 {
+		t.Fatal("LRU path 2 should have been evicted")
+	}
+	if c.Probe(ix(1, 1, 1, 0)) != 3 {
+		t.Fatal("MRU path 1 was evicted")
+	}
+}
+
+func TestTPCUpdateDedup(t *testing.T) {
+	c := NewTPC(4)
+	c.Update(ix(1, 1, 1, 0))
+	c.Update(ix(1, 1, 1, 5)) // same upper path, different leaf
+	c.Update(ix(2, 2, 2, 0))
+	c.Update(ix(3, 3, 3, 0))
+	c.Update(ix(4, 4, 4, 0))
+	// If the duplicate consumed a slot, one of paths 1..4 is gone.
+	for _, p := range []vm.Indices{ix(1, 1, 1, 0), ix(2, 2, 2, 0), ix(3, 3, 3, 0), ix(4, 4, 4, 0)} {
+		if c.Probe(p) != 3 {
+			t.Fatalf("path %v missing: duplicate update consumed a slot", p)
+		}
+	}
+}
+
+func TestUPTCPartialLevels(t *testing.T) {
+	c := NewUPTC(16)
+	c.Update(ix(1, 2, 3, 0))
+	if got := c.Probe(ix(1, 2, 3, 9)); got != 3 {
+		t.Fatalf("full-path probe = %d, want 3", got)
+	}
+	// Same L4/L3 but different L2: UPTC holds the L4 and L3 entries.
+	if got := c.Probe(ix(1, 2, 9, 0)); got != 2 {
+		t.Fatalf("L4+L3 probe = %d, want 2", got)
+	}
+	if got := c.Probe(ix(9, 2, 3, 0)); got != 0 {
+		t.Fatalf("different-root probe = %d, want 0", got)
+	}
+}
+
+func TestUPTCEviction(t *testing.T) {
+	c := NewUPTC(3) // room for exactly one full path
+	c.Update(ix(1, 1, 1, 0))
+	c.Update(ix(2, 2, 2, 0))
+	if got := c.Probe(ix(2, 2, 2, 0)); got != 3 {
+		t.Fatalf("most recent path probe = %d, want 3", got)
+	}
+	if got := c.Probe(ix(1, 1, 1, 0)); got != 0 {
+		t.Fatalf("evicted path probe = %d, want 0", got)
+	}
+}
+
+func TestPathKindString(t *testing.T) {
+	for k, want := range map[PathKind]string{
+		PathNone: "none", PathTPreg: "TPreg", PathTPC: "TPC", PathUPTC: "UPTC",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNonePathNeverSkips(t *testing.T) {
+	n := &nonePath{}
+	n.Update(ix(1, 2, 3, 0))
+	if n.Probe(ix(1, 2, 3, 0)) != 0 {
+		t.Fatal("nonePath skipped levels")
+	}
+}
+
+func TestPathCacheConstructorsPanicOnZero(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"TPC":  func() { NewTPC(0) },
+		"UPTC": func() { NewUPTC(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: probing any cache immediately after updating with the same
+// indices yields a full (3-level) match, and hit counters are monotone.
+func TestPathCacheUpdateThenProbeProperty(t *testing.T) {
+	mk := []func() PathCache{
+		func() PathCache { return NewTPreg() },
+		func() PathCache { return NewTPC(4) },
+		func() PathCache { return NewUPTC(12) },
+	}
+	f := func(l4, l3, l2 uint16) bool {
+		p := ix(l4&0x1FF, l3&0x1FF, l2&0x1FF, 0)
+		for _, m := range mk {
+			c := m()
+			c.Update(p)
+			if c.Probe(p) != 3 {
+				return false
+			}
+			s := c.Stats()
+			if s.L2Hits > s.L3Hits || s.L3Hits > s.L4Hits || s.L4Hits > s.Probes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

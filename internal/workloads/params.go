@@ -1,0 +1,44 @@
+package workloads
+
+// ParamCount returns the model's weight-parameter count (convolution and
+// fully-connected kernels only; biases and normalization parameters are
+// not modeled because they are negligible for DMA traffic). It validates
+// the layer tables against each network's published size.
+func ParamCount(m Model) int64 {
+	var params int64
+	for _, l := range m.Layers {
+		var per int64
+		switch l.Kind {
+		case Conv:
+			per = int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+		case FC, RNNCell:
+			per = int64(l.N) * int64(l.KDim)
+		}
+		reps := 1
+		// Repeated residual blocks multiply parameters; RNN timesteps
+		// reuse the same weights.
+		if l.Kind != RNNCell {
+			reps = l.Times()
+		}
+		params += per * int64(reps)
+	}
+	return params
+}
+
+// MACCount returns the model's multiply-accumulate operations for one
+// inference sample (batch 1), the standard workload-size metric.
+func MACCount(m Model) int64 {
+	var macs int64
+	for _, l := range m.Layers {
+		var per int64
+		switch l.Kind {
+		case Conv:
+			oh, ow := l.OutDims()
+			per = int64(oh) * int64(ow) * int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+		case FC, RNNCell:
+			per = int64(l.M) * int64(l.KDim) * int64(l.N)
+		}
+		macs += per * int64(l.Times())
+	}
+	return macs
+}

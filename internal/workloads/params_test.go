@@ -1,0 +1,68 @@
+package workloads
+
+import "testing"
+
+// within asserts got is within frac of want.
+func within(t *testing.T, name string, got, want int64, frac float64) {
+	t.Helper()
+	lo := float64(want) * (1 - frac)
+	hi := float64(want) * (1 + frac)
+	if float64(got) < lo || float64(got) > hi {
+		t.Errorf("%s: %d parameters, want %d ±%.0f%%", name, got, want, 100*frac)
+	}
+}
+
+// TestParamCountsMatchPublished validates the layer tables against each
+// network's published weight counts (kernels only, no biases/BN).
+func TestParamCountsMatchPublished(t *testing.T) {
+	// AlexNet: ≈2.3M conv + ≈58.6M FC ≈ 61M.
+	within(t, "AlexNet", ParamCount(AlexNet()), 61_000_000, 0.05)
+	// GoogLeNet convolutions + final FC ≈ 7.0M (no aux classifiers).
+	within(t, "GoogLeNet", ParamCount(GoogLeNet()), 7_000_000, 0.05)
+	// ResNet-50 ≈ 25.5M; our table omits BN and downsample strides but
+	// keeps all conv/FC kernels.
+	within(t, "ResNet-50", ParamCount(ResNet50()), 25_500_000, 0.15)
+	// DeepBench-style vanilla RNN h=1760: (2h)·h ≈ 6.2M.
+	within(t, "RNN-1", ParamCount(RNN1()), 2*1760*1760, 0.01)
+	// LSTM h=2048: 4h × 2h ≈ 33.6M.
+	within(t, "RNN-3", ParamCount(RNN3()), 4*2048*2*2048, 0.01)
+}
+
+func TestMACCountsReasonable(t *testing.T) {
+	// AlexNet ≈ 0.7 GMACs, ResNet-50 ≈ 3.9 GMACs, GoogLeNet ≈ 1.5 GMACs
+	// per 224×224 image (published figures; ours differ slightly because
+	// pooling/stride bookkeeping is simplified).
+	cases := []struct {
+		m    Model
+		want int64
+		tol  float64
+	}{
+		// AlexNet is ≈1.14 GMACs without the original's grouped
+		// convolutions (we model the ungrouped variant, as most
+		// reimplementations do).
+		{AlexNet(), 1_140_000_000, 0.05},
+		{GoogLeNet(), 1_500_000_000, 0.10},
+		{ResNet50(), 3_900_000_000, 0.05},
+	}
+	for _, c := range cases {
+		got := MACCount(c.m)
+		lo := float64(c.want) * (1 - c.tol)
+		hi := float64(c.want) * (1 + c.tol)
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("%s: %d MACs, want ≈%d", c.m.Name, got, c.want)
+		}
+	}
+}
+
+func TestRNNWeightsReusedAcrossTimesteps(t *testing.T) {
+	// Timesteps must not multiply parameter counts (weights are reused),
+	// but they do multiply MACs.
+	p := ParamCount(RNN2())
+	if p != int64(4*512*2*512) {
+		t.Fatalf("RNN-2 params = %d", p)
+	}
+	m := MACCount(RNN2())
+	if m != 25*int64(1)*int64(2*512)*int64(4*512) {
+		t.Fatalf("RNN-2 MACs = %d", m)
+	}
+}

@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"fmt"
+
+	"neummu/internal/tensor"
+	"neummu/internal/vm"
+)
+
+// TileConfig describes how the planner maps layers onto the scratchpads.
+type TileConfig struct {
+	// IABudget and WBudget are the per-buffer tile capacities in bytes.
+	// With double-buffering, a 10 MB scratchpad yields 5 MB tiles
+	// (§III-C: "the tile size of IA and W can be as large as 5 MB").
+	IABudget, WBudget int64
+	// ElemSize is bytes per tensor element (4 for fp32).
+	ElemSize int
+}
+
+// DefaultTiles returns the paper's nominal tiling configuration.
+func DefaultTiles() TileConfig {
+	return TileConfig{IABudget: 5 << 20, WBudget: 5 << 20, ElemSize: 4}
+}
+
+func (c TileConfig) withDefaults() TileConfig {
+	if c.IABudget <= 0 {
+		c.IABudget = 5 << 20
+	}
+	if c.WBudget <= 0 {
+		c.WBudget = 5 << 20
+	}
+	if c.ElemSize <= 0 {
+		c.ElemSize = 4
+	}
+	return c
+}
+
+// Tile is one double-buffered unit of work: the tensor views the DMA must
+// fetch before the compute phase, and the GEMM shape of the compute phase.
+type Tile struct {
+	Views   []tensor.View
+	M, K, N int64
+}
+
+// Bytes returns the tile's fetched data volume.
+func (t Tile) Bytes() int64 {
+	var n int64
+	for _, v := range t.Views {
+		n += v.Bytes()
+	}
+	return n
+}
+
+// PlannedLayer is a layer lowered to a tile schedule.
+type PlannedLayer struct {
+	Name   string
+	Repeat int
+	Tiles  []Tile
+}
+
+// Times returns the effective repeat count (at least 1).
+func (p PlannedLayer) Times() int {
+	if p.Repeat <= 0 {
+		return 1
+	}
+	return p.Repeat
+}
+
+// Plan is a model lowered to tile schedules plus the VA regions that must
+// be mapped before execution.
+type Plan struct {
+	Model  string
+	Batch  int
+	Layers []PlannedLayer
+	Space  *vm.Space
+}
+
+// TotalTiles returns the tile count including repeats.
+func (p *Plan) TotalTiles() int {
+	n := 0
+	for _, l := range p.Layers {
+		n += len(l.Tiles) * l.Times()
+	}
+	return n
+}
+
+// TotalBytes returns the total DMA traffic including repeats.
+func (p *Plan) TotalBytes() int64 {
+	var n int64
+	for _, l := range p.Layers {
+		var per int64
+		for _, t := range l.Tiles {
+			per += t.Bytes()
+		}
+		n += per * int64(l.Times())
+	}
+	return n
+}
+
+// BuildPlan lowers a model at the given batch size onto tile schedules,
+// allocating every tensor in a fresh virtual address space.
+func BuildPlan(m Model, batch int, cfg TileConfig) (*Plan, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("workloads: batch must be positive, got %d", batch)
+	}
+	cfg = cfg.withDefaults()
+	space := vm.NewSpace(0x1000_0000, vm.Page4K)
+	plan := &Plan{Model: m.Name, Batch: batch, Space: space}
+	for _, spec := range m.Layers {
+		var pl PlannedLayer
+		var err error
+		switch spec.Kind {
+		case Conv:
+			pl, err = planConv(spec, batch, cfg, space)
+		case FC, RNNCell:
+			pl, err = planGEMM(spec, batch, cfg, space)
+		default:
+			err = fmt.Errorf("workloads: layer %q has unknown kind", spec.Name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %s/%s: %w", m.Name, spec.Name, err)
+		}
+		plan.Layers = append(plan.Layers, pl)
+	}
+	return plan, nil
+}
+
+// planConv tiles a convolution: filters are blocked to fit the weight
+// scratchpad (weight-stationary), and within each filter block the input
+// is blocked over output rows to fit the activation scratchpad. The
+// filter-block's weights are fetched with the block's first tile.
+func planConv(l LayerSpec, batch int, cfg TileConfig, space *vm.Space) (PlannedLayer, error) {
+	oh, ow := l.OutDims()
+	if oh <= 0 || ow <= 0 {
+		return PlannedLayer{}, fmt.Errorf("degenerate output %dx%d", oh, ow)
+	}
+	es := cfg.ElemSize
+	iaBytes := int64(batch) * int64(l.C) * int64(l.H) * int64(l.W) * int64(es)
+	wBytes := int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S) * int64(es)
+
+	iaRegion := space.Alloc(l.Name+"/IA", uint64(iaBytes))
+	wRegion := space.Alloc(l.Name+"/W", uint64(wBytes))
+	ia := tensor.New(l.Name+"/IA", iaRegion.Base, es, batch, l.C, l.H, l.W)
+	w := tensor.New(l.Name+"/W", wRegion.Base, es, l.K, l.C, l.R, l.S)
+
+	// Filters per weight tile.
+	perFilter := int64(l.C) * int64(l.R) * int64(l.S) * int64(es)
+	kt := int(cfg.WBudget / perFilter)
+	if kt < 1 {
+		kt = 1
+	}
+	if kt > l.K {
+		kt = l.K
+	}
+
+	// Output rows per activation tile: input rows = (ht-1)·stride + R.
+	perInRow := int64(batch) * int64(l.C) * int64(l.W) * int64(es)
+	maxInRows := int(cfg.IABudget / perInRow)
+	ht := (maxInRows - l.R + l.Stride) / l.Stride
+	if ht < 1 {
+		ht = 1
+	}
+	if ht > oh {
+		ht = oh
+	}
+
+	var tiles []Tile
+	for kb := 0; kb < l.K; kb += kt {
+		kHi := min(kb+kt, l.K)
+		for hb := 0; hb < oh; hb += ht {
+			hHi := min(hb+ht, oh)
+			// Input rows feeding output rows [hb, hHi).
+			inLo := hb*l.Stride - l.Pad
+			inHi := (hHi-1)*l.Stride - l.Pad + l.R
+			if inLo < 0 {
+				inLo = 0
+			}
+			if inHi > l.H {
+				inHi = l.H
+			}
+			t := Tile{
+				M: int64(batch) * int64(hHi-hb) * int64(ow),
+				K: int64(l.C) * int64(l.R) * int64(l.S),
+				N: int64(kHi - kb),
+			}
+			t.Views = append(t.Views, tensor.ViewOf(ia,
+				tensor.Full(batch), tensor.Full(l.C),
+				tensor.Range{Lo: inLo, Hi: inHi}, tensor.Full(l.W)))
+			if hb == 0 {
+				// Weight-stationary: the filter block loads once.
+				t.Views = append(t.Views, tensor.ViewOf(w,
+					tensor.Range{Lo: kb, Hi: kHi}, tensor.Full(l.C),
+					tensor.Full(l.R), tensor.Full(l.S)))
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return PlannedLayer{Name: l.Name, Repeat: l.Times(), Tiles: tiles}, nil
+}
+
+// planGEMM tiles an FC or RNN-cell layer: the N×K weight matrix is blocked
+// over output columns; the activation matrix is fetched with the first
+// tile when it fits the scratchpad (it almost always does for inference
+// batches) and re-fetched per block otherwise.
+func planGEMM(l LayerSpec, batch int, cfg TileConfig, space *vm.Space) (PlannedLayer, error) {
+	if l.M <= 0 || l.KDim <= 0 || l.N <= 0 {
+		return PlannedLayer{}, fmt.Errorf("degenerate GEMM %dx%dx%d", l.M, l.KDim, l.N)
+	}
+	es := cfg.ElemSize
+	rows := batch * l.M
+	iaBytes := int64(rows) * int64(l.KDim) * int64(es)
+	wBytes := int64(l.N) * int64(l.KDim) * int64(es)
+
+	iaRegion := space.Alloc(l.Name+"/IA", uint64(iaBytes))
+	wRegion := space.Alloc(l.Name+"/W", uint64(wBytes))
+	ia := tensor.New(l.Name+"/IA", iaRegion.Base, es, rows, l.KDim)
+	w := tensor.New(l.Name+"/W", wRegion.Base, es, l.N, l.KDim)
+
+	perOut := int64(l.KDim) * int64(es)
+	nt := int(cfg.WBudget / perOut)
+	if nt < 1 {
+		nt = 1
+	}
+	if nt > l.N {
+		nt = l.N
+	}
+	iaFits := iaBytes <= cfg.IABudget
+
+	var tiles []Tile
+	for nb := 0; nb < l.N; nb += nt {
+		nHi := min(nb+nt, l.N)
+		t := Tile{M: int64(rows), K: int64(l.KDim), N: int64(nHi - nb)}
+		if nb == 0 || !iaFits {
+			t.Views = append(t.Views, tensor.ViewOf(ia,
+				tensor.Full(rows), tensor.Full(l.KDim)))
+		}
+		t.Views = append(t.Views, tensor.ViewOf(w,
+			tensor.Range{Lo: nb, Hi: nHi}, tensor.Full(l.KDim)))
+		tiles = append(tiles, t)
+	}
+	return PlannedLayer{Name: l.Name, Repeat: l.Times(), Tiles: tiles}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

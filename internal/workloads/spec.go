@@ -1,0 +1,235 @@
+// Package workloads defines the paper's six dense DNN benchmarks (§II-C)
+// as layer-shape tables, and the tiling planner that maps each layer onto
+// the NPU's double-buffered scratchpads.
+//
+//	CNN-1  AlexNet      — large filters and FC layers
+//	CNN-2  GoogLeNet    — many small inception branch convolutions
+//	CNN-3  ResNet-50    — deep bottleneck blocks
+//	RNN-1  DeepBench vanilla RNN (GEMV-shaped, hidden 1760)
+//	RNN-2  DeepBench LSTM, hidden 512
+//	RNN-3  DeepBench LSTM, hidden 2048
+//
+// Only layer shapes matter to the MMU study — translation traffic is a
+// pure function of tensor geometry, layout, tiling and page size — so no
+// numerical weights exist anywhere in this package.
+package workloads
+
+import "fmt"
+
+// Kind discriminates layer types.
+type Kind int
+
+const (
+	// Conv is a 2-D convolution, mapped to GEMM via im2col.
+	Conv Kind = iota
+	// FC is a fully-connected (GEMM) layer.
+	FC
+	// RNNCell is one recurrent timestep: a GEMM over the concatenated
+	// input+hidden state. LSTM cells produce 4·hidden outputs.
+	RNNCell
+)
+
+// LayerSpec is the shape of one layer.
+type LayerSpec struct {
+	Name string
+	Kind Kind
+	// Convolution parameters (input C×H×W, K filters of R×S).
+	C, H, W, K, R, S, Stride, Pad int
+	// GEMM parameters for FC/RNNCell: per-sample rows M, depth KDim,
+	// outputs N.
+	M, KDim, N int
+	// Repeat runs the layer this many times (RNN timesteps, repeated
+	// residual blocks). Zero means once.
+	Repeat int
+}
+
+// Times returns the effective repeat count (at least 1).
+func (l LayerSpec) Times() int {
+	if l.Repeat <= 0 {
+		return 1
+	}
+	return l.Repeat
+}
+
+// OutDims returns a convolution's output height and width.
+func (l LayerSpec) OutDims() (oh, ow int) {
+	oh = (l.H+2*l.Pad-l.R)/l.Stride + 1
+	ow = (l.W+2*l.Pad-l.S)/l.Stride + 1
+	return
+}
+
+// Model is a named sequence of layers.
+type Model struct {
+	Name   string
+	Layers []LayerSpec
+}
+
+func conv(name string, c, h, w, k, r, s, stride, pad int) LayerSpec {
+	return LayerSpec{Name: name, Kind: Conv, C: c, H: h, W: w, K: k, R: r, S: s, Stride: stride, Pad: pad}
+}
+
+func fc(name string, in, out int) LayerSpec {
+	return LayerSpec{Name: name, Kind: FC, M: 1, KDim: in, N: out}
+}
+
+// inception appends the four convolution branches of a GoogLeNet
+// inception module: 1×1, 1×1→3×3, 1×1→5×5, and the pooling projection.
+func inception(name string, in, hw, b1, b3r, b3, b5r, b5, pp int) []LayerSpec {
+	return []LayerSpec{
+		conv(name+"/1x1", in, hw, hw, b1, 1, 1, 1, 0),
+		conv(name+"/3x3r", in, hw, hw, b3r, 1, 1, 1, 0),
+		conv(name+"/3x3", b3r, hw, hw, b3, 3, 3, 1, 1),
+		conv(name+"/5x5r", in, hw, hw, b5r, 1, 1, 1, 0),
+		conv(name+"/5x5", b5r, hw, hw, b5, 5, 5, 1, 2),
+		conv(name+"/pool", in, hw, hw, pp, 1, 1, 1, 0),
+	}
+}
+
+// bottleneck appends a ResNet bottleneck block (1×1 reduce, 3×3, 1×1
+// expand) repeated n times with in==out channel plumbing.
+func bottleneck(name string, in, mid, out, hw, n int) []LayerSpec {
+	rep := func(l LayerSpec, times int) LayerSpec { l.Repeat = times; return l }
+	first := []LayerSpec{
+		conv(name+"/a1", in, hw, hw, mid, 1, 1, 1, 0),
+		conv(name+"/a2", mid, hw, hw, mid, 3, 3, 1, 1),
+		conv(name+"/a3", mid, hw, hw, out, 1, 1, 1, 0),
+		conv(name+"/proj", in, hw, hw, out, 1, 1, 1, 0),
+	}
+	if n <= 1 {
+		return first
+	}
+	rest := []LayerSpec{
+		rep(conv(name+"/b1", out, hw, hw, mid, 1, 1, 1, 0), n-1),
+		rep(conv(name+"/b2", mid, hw, hw, mid, 3, 3, 1, 1), n-1),
+		rep(conv(name+"/b3", mid, hw, hw, out, 1, 1, 1, 0), n-1),
+	}
+	return append(first, rest...)
+}
+
+func lstm(name string, hidden, timesteps int) LayerSpec {
+	return LayerSpec{
+		Name: name, Kind: RNNCell,
+		M: 1, KDim: 2 * hidden, N: 4 * hidden,
+		Repeat: timesteps,
+	}
+}
+
+func vanillaRNN(name string, hidden, timesteps int) LayerSpec {
+	return LayerSpec{
+		Name: name, Kind: RNNCell,
+		M: 1, KDim: 2 * hidden, N: hidden,
+		Repeat: timesteps,
+	}
+}
+
+// AlexNet returns CNN-1.
+func AlexNet() Model {
+	return Model{Name: "CNN-1", Layers: []LayerSpec{
+		conv("conv1", 3, 227, 227, 96, 11, 11, 4, 0),
+		conv("conv2", 96, 27, 27, 256, 5, 5, 1, 2),
+		conv("conv3", 256, 13, 13, 384, 3, 3, 1, 1),
+		conv("conv4", 384, 13, 13, 384, 3, 3, 1, 1),
+		conv("conv5", 384, 13, 13, 256, 3, 3, 1, 1),
+		fc("fc6", 256*6*6, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	}}
+}
+
+// GoogLeNet returns CNN-2.
+func GoogLeNet() Model {
+	layers := []LayerSpec{
+		conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3),
+		conv("conv2r", 64, 56, 56, 64, 1, 1, 1, 0),
+		conv("conv2", 64, 56, 56, 192, 3, 3, 1, 1),
+	}
+	layers = append(layers, inception("inc3a", 192, 28, 64, 96, 128, 16, 32, 32)...)
+	layers = append(layers, inception("inc3b", 256, 28, 128, 128, 192, 32, 96, 64)...)
+	layers = append(layers, inception("inc4a", 480, 14, 192, 96, 208, 16, 48, 64)...)
+	layers = append(layers, inception("inc4b", 512, 14, 160, 112, 224, 24, 64, 64)...)
+	layers = append(layers, inception("inc4c", 512, 14, 128, 128, 256, 24, 64, 64)...)
+	layers = append(layers, inception("inc4d", 512, 14, 112, 144, 288, 32, 64, 64)...)
+	layers = append(layers, inception("inc4e", 528, 14, 256, 160, 320, 32, 128, 128)...)
+	layers = append(layers, inception("inc5a", 832, 7, 256, 160, 320, 32, 128, 128)...)
+	layers = append(layers, inception("inc5b", 832, 7, 384, 192, 384, 48, 128, 128)...)
+	layers = append(layers, fc("fc", 1024, 1000))
+	return Model{Name: "CNN-2", Layers: layers}
+}
+
+// ResNet50 returns CNN-3.
+func ResNet50() Model {
+	layers := []LayerSpec{
+		conv("conv1", 3, 224, 224, 64, 7, 7, 2, 3),
+	}
+	layers = append(layers, bottleneck("conv2", 64, 64, 256, 56, 3)...)
+	layers = append(layers, bottleneck("conv3", 256, 128, 512, 28, 4)...)
+	layers = append(layers, bottleneck("conv4", 512, 256, 1024, 14, 6)...)
+	layers = append(layers, bottleneck("conv5", 1024, 512, 2048, 7, 3)...)
+	layers = append(layers, fc("fc", 2048, 1000))
+	return Model{Name: "CNN-3", Layers: layers}
+}
+
+// RNN1 returns RNN-1: the DeepBench vanilla (GEMV-shaped) RNN.
+func RNN1() Model {
+	return Model{Name: "RNN-1", Layers: []LayerSpec{vanillaRNN("rnn", 1760, 50)}}
+}
+
+// RNN2 returns RNN-2: the small DeepBench LSTM.
+func RNN2() Model {
+	return Model{Name: "RNN-2", Layers: []LayerSpec{lstm("lstm", 512, 25)}}
+}
+
+// RNN3 returns RNN-3: the large DeepBench LSTM.
+func RNN3() Model {
+	return Model{Name: "RNN-3", Layers: []LayerSpec{lstm("lstm", 2048, 25)}}
+}
+
+// DenseSuite returns the six dense benchmarks in the paper's order.
+func DenseSuite() []Model {
+	return []Model{AlexNet(), GoogLeNet(), ResNet50(), RNN1(), RNN2(), RNN3()}
+}
+
+// ByName returns the model with the given paper alias (CNN-1…RNN-3) or
+// model name (alexnet, googlenet, resnet50, rnn, lstm-small, lstm-large).
+func ByName(name string) (Model, error) {
+	switch name {
+	case "CNN-1", "alexnet":
+		return AlexNet(), nil
+	case "CNN-2", "googlenet":
+		return GoogLeNet(), nil
+	case "CNN-3", "resnet50":
+		return ResNet50(), nil
+	case "RNN-1", "rnn":
+		return RNN1(), nil
+	case "RNN-2", "lstm-small":
+		return RNN2(), nil
+	case "RNN-3", "lstm-large":
+		return RNN3(), nil
+	}
+	return Model{}, fmt.Errorf("workloads: unknown model %q", name)
+}
+
+// CommonLayer returns the single representative layer of each network used
+// by the paper's large-batch sensitivity study (§VI-C), which limits
+// evaluation to "the common layer configuration of each DNN" because full
+// large-batch runs are intractable.
+func CommonLayer(model string) (Model, error) {
+	switch model {
+	case "CNN-1", "alexnet":
+		return Model{Name: "CNN-1/common", Layers: []LayerSpec{
+			conv("conv3", 256, 13, 13, 384, 3, 3, 1, 1)}}, nil
+	case "CNN-2", "googlenet":
+		return Model{Name: "CNN-2/common", Layers: []LayerSpec{
+			conv("inc4c/3x3", 128, 14, 14, 256, 3, 3, 1, 1)}}, nil
+	case "CNN-3", "resnet50":
+		return Model{Name: "CNN-3/common", Layers: []LayerSpec{
+			conv("conv4/b2", 256, 14, 14, 256, 3, 3, 1, 1)}}, nil
+	case "RNN-1", "rnn":
+		return Model{Name: "RNN-1/common", Layers: []LayerSpec{vanillaRNN("rnn", 1760, 4)}}, nil
+	case "RNN-2", "lstm-small":
+		return Model{Name: "RNN-2/common", Layers: []LayerSpec{lstm("lstm", 512, 4)}}, nil
+	case "RNN-3", "lstm-large":
+		return Model{Name: "RNN-3/common", Layers: []LayerSpec{lstm("lstm", 2048, 4)}}, nil
+	}
+	return Model{}, fmt.Errorf("workloads: unknown model %q", model)
+}

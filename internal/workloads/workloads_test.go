@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neummu/internal/vm"
+)
+
+func TestDenseSuiteNames(t *testing.T) {
+	suite := DenseSuite()
+	want := []string{"CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d models", len(suite))
+	}
+	for i, m := range suite {
+		if m.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, m.Name, want[i])
+		}
+		if len(m.Layers) == 0 {
+			t.Errorf("%s has no layers", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CNN-1", "alexnet", "CNN-2", "googlenet",
+		"CNN-3", "resnet50", "RNN-1", "rnn", "RNN-2", "lstm-small", "RNN-3", "lstm-large"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("vgg"); err == nil {
+		t.Error("ByName of unknown model should fail")
+	}
+}
+
+func TestCommonLayer(t *testing.T) {
+	for _, name := range []string{"CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"} {
+		m, err := CommonLayer(name)
+		if err != nil {
+			t.Fatalf("CommonLayer(%q): %v", name, err)
+		}
+		if len(m.Layers) != 1 {
+			t.Fatalf("common layer of %s has %d layers", name, len(m.Layers))
+		}
+	}
+	if _, err := CommonLayer("nope"); err == nil {
+		t.Error("unknown common layer should fail")
+	}
+}
+
+func TestConvOutputDims(t *testing.T) {
+	l := AlexNet().Layers[0] // conv1: 227, 11×11, stride 4
+	oh, ow := l.OutDims()
+	if oh != 55 || ow != 55 {
+		t.Fatalf("conv1 output = %dx%d, want 55x55", oh, ow)
+	}
+}
+
+func TestAlexNetPlanShapes(t *testing.T) {
+	plan, err := BuildPlan(AlexNet(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Layers) != 8 {
+		t.Fatalf("%d planned layers, want 8", len(plan.Layers))
+	}
+	// fc6 has a 151 MB fp32 weight matrix → at least 30 weight tiles.
+	var fc6 PlannedLayer
+	for _, l := range plan.Layers {
+		if l.Name == "fc6" {
+			fc6 = l
+		}
+	}
+	if len(fc6.Tiles) < 28 {
+		t.Fatalf("fc6 planned into %d tiles, want ≥ 28 (151MB / 5MB)", len(fc6.Tiles))
+	}
+	// Every tile's fetch volume respects the combined scratchpad budgets
+	// (one IA + one W buffer), with slack for the first tile of a block.
+	for _, l := range plan.Layers {
+		for i, tile := range l.Tiles {
+			if tile.Bytes() > (5<<20)+(5<<20)+(1<<20) {
+				t.Fatalf("%s tile %d fetches %d bytes, exceeds budgets", l.Name, i, tile.Bytes())
+			}
+			if tile.M <= 0 || tile.K <= 0 || tile.N <= 0 {
+				t.Fatalf("%s tile %d has degenerate GEMM %dx%dx%d", l.Name, i, tile.M, tile.K, tile.N)
+			}
+		}
+	}
+}
+
+func TestBatchScalesActivations(t *testing.T) {
+	p1, err := BuildPlan(AlexNet(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := BuildPlan(AlexNet(), 8, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.TotalBytes() <= p1.TotalBytes() {
+		t.Fatalf("batch 8 traffic (%d) not larger than batch 1 (%d)",
+			p8.TotalBytes(), p1.TotalBytes())
+	}
+}
+
+func TestRNNPlansUseRepeat(t *testing.T) {
+	plan, err := BuildPlan(RNN3(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Layers) != 1 {
+		t.Fatalf("%d layers", len(plan.Layers))
+	}
+	l := plan.Layers[0]
+	if l.Times() != 25 {
+		t.Fatalf("LSTM repeat = %d, want 25 timesteps", l.Times())
+	}
+	// LSTM-2048 weights: 4·2048 outputs × 4096 depth × 4 B = 134 MB →
+	// at least 26 weight tiles per timestep.
+	if len(l.Tiles) < 26 {
+		t.Fatalf("%d tiles per timestep, want ≥ 26", len(l.Tiles))
+	}
+}
+
+func TestGEMMSmallIAFetchedOnce(t *testing.T) {
+	plan, err := BuildPlan(RNN2(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := plan.Layers[0].Tiles
+	// The 4 KB hidden-state vector fits the SPM: only tile 0 fetches IA.
+	if len(tiles[0].Views) != 2 {
+		t.Fatalf("tile 0 has %d views, want IA+W", len(tiles[0].Views))
+	}
+	for i, tile := range tiles[1:] {
+		if len(tile.Views) != 1 {
+			t.Fatalf("tile %d refetches IA needlessly", i+1)
+		}
+	}
+}
+
+func TestConvWeightFetchedOncePerFilterBlock(t *testing.T) {
+	// conv2 of AlexNet at batch 8: multiple row blocks per filter block.
+	plan, err := BuildPlan(AlexNet(), 8, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv1 := plan.Layers[0]
+	withW := 0
+	for _, tile := range conv1.Tiles {
+		for _, v := range tile.Views {
+			if strings.HasSuffix(v.T.Name, "/W") {
+				withW++
+			}
+		}
+	}
+	if withW == 0 {
+		t.Fatal("no tile fetches weights")
+	}
+	if withW == len(conv1.Tiles) && len(conv1.Tiles) > 1 {
+		t.Fatal("every tile refetches weights: weight-stationary blocking broken")
+	}
+}
+
+func TestPlanRegionsDisjointFromEachOther(t *testing.T) {
+	plan, err := BuildPlan(GoogLeNet(), 4, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := plan.Space.Regions()
+	if len(regions) < 2*len(plan.Layers) {
+		t.Fatalf("%d regions for %d layers", len(regions), len(plan.Layers))
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Base < regions[i-1].End() {
+			t.Fatalf("regions %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func TestViewsStayInsideRegions(t *testing.T) {
+	plan, err := BuildPlan(ResNet50(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range plan.Layers {
+		for _, tile := range l.Tiles {
+			for _, v := range tile.Views {
+				for _, seg := range v.Segments() {
+					r, ok := plan.Space.Find(seg.VA)
+					if !ok {
+						t.Fatalf("%s: segment at %#x outside any region", l.Name, seg.VA)
+					}
+					if seg.End() > r.End() {
+						t.Fatalf("%s: segment overruns region %s", l.Name, r.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPlanRejectsBadBatch(t *testing.T) {
+	if _, err := BuildPlan(AlexNet(), 0, DefaultTiles()); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}
+
+func TestTotalsAccounting(t *testing.T) {
+	plan, err := BuildPlan(RNN1(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := plan.Layers[0]
+	perPass := 0
+	for range l.Tiles {
+		perPass++
+	}
+	if plan.TotalTiles() != perPass*50 {
+		t.Fatalf("TotalTiles = %d, want %d", plan.TotalTiles(), perPass*50)
+	}
+	if plan.TotalBytes() <= 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+// Property: for any conv spec drawn from the suite, tiling covers every
+// output row and every filter exactly once per repeat.
+func TestConvTilingCoversOutput(t *testing.T) {
+	f := func(modelSel, layerSel uint8, batchSel uint8) bool {
+		models := DenseSuite()[:3]
+		m := models[int(modelSel)%3]
+		// Collect conv layers only.
+		var convs []LayerSpec
+		for _, l := range m.Layers {
+			if l.Kind == Conv {
+				convs = append(convs, l)
+			}
+		}
+		l := convs[int(layerSel)%len(convs)]
+		batch := []int{1, 4, 8}[batchSel%3]
+		pl, err := planConv(l, batch, DefaultTiles().withDefaults(), vm.NewSpace(0x1000_0000, vm.Page4K))
+		if err != nil {
+			return false
+		}
+		oh, ow := l.OutDims()
+		var totalM, totalWN int64
+		for _, tile := range pl.Tiles {
+			totalM += tile.M * tile.N
+			for _, v := range tile.Views {
+				if strings.HasSuffix(v.T.Name, "/W") {
+					totalWN += int64(v.Ranges[0].Len())
+				}
+			}
+		}
+		// Sum over tiles of M×N must equal batch·OH·OW·K.
+		want := int64(batch) * int64(oh) * int64(ow) * int64(l.K)
+		return totalM == want && totalWN == int64(l.K)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

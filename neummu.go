@@ -1,0 +1,163 @@
+// Package neummu is the public API of the NeuMMU reproduction: a
+// simulation library for studying address translation in scratchpad-based
+// neural processing units, reproducing "NeuMMU: Architectural Support for
+// Efficient Address Translations in Neural Processing Units" (Hyun et al.,
+// ASPLOS 2020).
+//
+// The package exposes three layers:
+//
+//   - Simulate / SimulateSparse run one workload on one MMU configuration
+//     and return cycle-accurate results (the quickstart path).
+//   - Harness regenerates every table and figure of the paper's
+//     evaluation (see EXPERIMENTS.md for the full index).
+//   - The type aliases re-export the building blocks (MMU kinds, page
+//     sizes, configurations) for callers composing their own studies.
+//
+// Implementation packages live under internal/; this facade is the
+// supported surface.
+package neummu
+
+import (
+	"neummu/internal/core"
+	"neummu/internal/embeddings"
+	"neummu/internal/exp"
+	"neummu/internal/memsys"
+	"neummu/internal/npu"
+	"neummu/internal/numa"
+	"neummu/internal/spatial"
+	"neummu/internal/systolic"
+	"neummu/internal/vm"
+	"neummu/internal/workloads"
+)
+
+// MMUKind selects a translation architecture.
+type MMUKind = core.Kind
+
+// Canonical MMU configurations (§IV).
+const (
+	// OracleMMU resolves every translation instantly; all results are
+	// normalized against it.
+	OracleMMU = core.Oracle
+	// BaselineIOMMU is the GPU-centric IOMMU of Table I: 2048-entry TLB,
+	// 8 page-table walkers, no scoreboard, no merging, no path caching.
+	BaselineIOMMU = core.IOMMU
+	// ThroughputNeuMMU is the paper's proposal: 128 walkers with 32-slot
+	// PRMBs, a pending-translation scoreboard, and per-walker TPregs.
+	ThroughputNeuMMU = core.NeuMMU
+)
+
+// PageSize is a virtual-memory page granularity.
+type PageSize = vm.PageSize
+
+// Supported page sizes.
+const (
+	Page4K = vm.Page4K
+	Page2M = vm.Page2M
+)
+
+// Result is a dense-workload simulation result.
+type Result = npu.Result
+
+// SparseResult is a recommendation-workload (NUMA case study) result.
+type SparseResult = numa.Result
+
+// GatherMode selects how a multi-NPU system reaches remote embeddings.
+type GatherMode = numa.Mode
+
+// Remote-gather modes for SimulateSparse (§V, §VI-A).
+const (
+	GatherBaselineCopy = numa.BaselineCopy
+	GatherNUMASlow     = numa.NUMASlow
+	GatherNUMAFast     = numa.NUMAFast
+	GatherDemandPaging = numa.DemandPaging
+	// GatherDemandPagingMosaic demand-pages at 4 KB and promotes hot
+	// 2 MB regions to large pages (the §VI-A Mosaic-style extension).
+	GatherDemandPagingMosaic = numa.DemandPagingMosaic
+)
+
+// Options tunes a Simulate call.
+type Options struct {
+	// PageSize defaults to Page4K.
+	PageSize PageSize
+	// RepeatCap and TileCap truncate repeated layers / per-layer tiles to
+	// bound simulation time; zero simulates everything.
+	RepeatCap, TileCap int
+	// SpatialNPU switches the compute model from the TPU-style systolic
+	// array to the DaDianNao/Eyeriss-style spatial grid (§VI-B).
+	SpatialNPU bool
+}
+
+// DenseModels returns the paper aliases of the six dense workloads.
+func DenseModels() []string {
+	return []string{"CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"}
+}
+
+// SparseModels returns the recommendation-system workloads of §V.
+func SparseModels() []string { return []string{"NCF", "DLRM"} }
+
+// Simulate runs one dense DNN workload (by paper alias or model name) at
+// the given batch size under the given MMU kind.
+func Simulate(model string, batch int, kind MMUKind, opts Options) (*Result, error) {
+	m, err := workloads.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = Page4K
+	}
+	mcfg := core.ConfigFor(kind, ps)
+	if kind == core.Oracle {
+		mcfg = core.Config{Kind: core.Oracle, PageSize: ps}
+	}
+	cfg := npu.Config{
+		MMU:       mcfg,
+		Memory:    memsys.Baseline(),
+		Compute:   systolic.Baseline(),
+		RepeatCap: opts.RepeatCap,
+		TileCap:   opts.TileCap,
+	}
+	if opts.SpatialNPU {
+		cfg.Compute = spatial.Baseline()
+	}
+	return npu.RunModel(m, batch, cfg)
+}
+
+// SimulateSparse runs one recommendation workload on the 4-NPU system of
+// §V under the given remote-gather mode and MMU kind.
+func SimulateSparse(model string, batch int, mode GatherMode, kind MMUKind, ps PageSize) (*SparseResult, error) {
+	cfg, err := embeddings.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	if ps == 0 {
+		ps = Page4K
+	}
+	return numa.Run(cfg, batch, mode, kind, ps, numa.DefaultSystem())
+}
+
+// SimulateSparseIterations runs several consecutive inference batches that
+// share MMU and demand-paged residency state: the first batch runs cold,
+// later batches profit from already-migrated pages (or thrash when local
+// memory is oversubscribed). Returns one result per batch.
+func SimulateSparseIterations(model string, batch, iterations int, mode GatherMode,
+	kind MMUKind, ps PageSize) ([]*SparseResult, error) {
+	cfg, err := embeddings.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	if ps == 0 {
+		ps = Page4K
+	}
+	return numa.RunIterations(cfg, batch, iterations, mode, kind, ps, numa.DefaultSystem())
+}
+
+// Harness regenerates the paper's tables and figures; see internal/exp
+// for the per-figure methods and EXPERIMENTS.md for the index.
+type Harness = exp.Harness
+
+// HarnessOptions tunes harness effort (Quick mode shrinks sweeps for CI).
+type HarnessOptions = exp.Options
+
+// NewHarness returns a figure-regeneration harness.
+func NewHarness(opts HarnessOptions) *Harness { return exp.New(opts) }

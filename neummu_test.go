@@ -1,0 +1,91 @@
+package neummu
+
+import "testing"
+
+func TestSimulateDense(t *testing.T) {
+	res, err := Simulate("CNN-1", 1, ThroughputNeuMMU, Options{TileCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Translations <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSimulateOracleNormalization(t *testing.T) {
+	opts := Options{TileCap: 4}
+	oracle, err := Simulate("RNN-2", 1, OracleMMU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, err := Simulate("RNN-2", 1, BaselineIOMMU, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := io.NormalizedPerf(oracle); p <= 0 || p >= 1 {
+		t.Fatalf("baseline normalized perf = %v", p)
+	}
+}
+
+func TestSimulateUnknownModel(t *testing.T) {
+	if _, err := Simulate("VGG", 1, OracleMMU, Options{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSimulateSpatialOption(t *testing.T) {
+	res, err := Simulate("CNN-1", 1, ThroughputNeuMMU, Options{TileCap: 2, SpatialNPU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compute == "systolic-128x128" {
+		t.Fatal("spatial option ignored")
+	}
+}
+
+func TestSimulateLargePages(t *testing.T) {
+	res, err := Simulate("CNN-1", 1, ThroughputNeuMMU, Options{TileCap: 2, PageSize: Page2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestSimulateSparseModes(t *testing.T) {
+	base, err := SimulateSparse("NCF", 4, GatherBaselineCopy, OracleMMU, Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SimulateSparse("NCF", 4, GatherNUMAFast, ThroughputNeuMMU, Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Breakdown.Total() >= base.Breakdown.Total() {
+		t.Fatalf("NUMA(fast) %d not faster than baseline %d",
+			fast.Breakdown.Total(), base.Breakdown.Total())
+	}
+}
+
+func TestModelLists(t *testing.T) {
+	if len(DenseModels()) != 6 || len(SparseModels()) != 2 {
+		t.Fatal("model lists wrong")
+	}
+	for _, m := range DenseModels() {
+		if _, err := Simulate(m, 1, OracleMMU, Options{TileCap: 1, RepeatCap: 1}); err != nil {
+			t.Fatalf("Simulate(%q): %v", m, err)
+		}
+	}
+}
+
+func TestNewHarnessQuick(t *testing.T) {
+	h := NewHarness(HarnessOptions{Quick: true})
+	rows, err := h.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

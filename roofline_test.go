@@ -1,0 +1,86 @@
+package neummu
+
+import (
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/npu"
+	"neummu/internal/systolic"
+	"neummu/internal/vm"
+	"neummu/internal/workloads"
+)
+
+func simulatePlan(plan *workloads.Plan) (*npu.Result, error) {
+	return npu.Run(plan, npu.Config{
+		MMU:     core.Config{Kind: core.Oracle, PageSize: vm.Page4K},
+		Memory:  memsys.Baseline(),
+		Compute: systolic.Baseline(),
+	})
+}
+
+// The paper cross-validates its NPU model against Google Cloud TPU (80%
+// correlation, §II-C). Our substitute validation checks the simulator
+// against the analytic roofline: end-to-end cycles can never beat either
+// the compute bound (MACs / peak) or the bandwidth bound (bytes / BW), and
+// an oracle run should land within a small factor of max(bounds) — the
+// double-buffered pipeline is designed to approach the roofline.
+func TestOracleRespectsRoofline(t *testing.T) {
+	const (
+		peakMACs = 128 * 128 // per cycle
+		bwBytes  = 600       // per cycle
+	)
+	for _, model := range DenseModels() {
+		m, err := workloads.ByName(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := workloads.BuildPlan(m, 4, workloads.DefaultTiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(model, 4, OracleMMU, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bandwidth bound over the traffic the simulator actually moved.
+		bwBound := res.BytesFetched / bwBytes
+		if int64(res.Cycles) < bwBound {
+			t.Errorf("%s: %d cycles beats the bandwidth roofline %d", model, res.Cycles, bwBound)
+		}
+		// The pipeline should stay within 16x of the bandwidth bound:
+		// far looser than a real roofline (fill/drain overheads, small
+		// tiles) but tight enough to catch a broken timing model.
+		if int64(res.Cycles) > 16*bwBound && res.ComputeCycles < res.MemPhaseCycles {
+			t.Errorf("%s: %d cycles is far off the %d-cycle bandwidth roofline for a memory-bound run",
+				model, res.Cycles, bwBound)
+		}
+		_ = plan
+	}
+}
+
+// TestComputeBoundWorkloadTracksComputeRoofline: a deliberately
+// compute-heavy layer must be compute-bound and near its MAC roofline.
+func TestComputeBoundWorkloadTracksComputeRoofline(t *testing.T) {
+	m := workloads.Model{Name: "fatconv", Layers: []workloads.LayerSpec{
+		{Name: "conv", Kind: workloads.Conv, C: 512, H: 28, W: 28,
+			K: 512, R: 3, S: 3, Stride: 1, Pad: 1},
+	}}
+	plan, err := workloads.BuildPlan(m, 8, workloads.DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulatePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := int64(8) * workloads.MACCount(m)
+	computeBound := macs / (128 * 128)
+	if int64(res.Cycles) < computeBound {
+		t.Fatalf("cycles %d beat the compute roofline %d", res.Cycles, computeBound)
+	}
+	if float64(res.Cycles) > 2.5*float64(computeBound) {
+		t.Fatalf("compute-bound run at %d cycles, roofline %d: pipeline not overlapping",
+			res.Cycles, computeBound)
+	}
+}
