@@ -1,14 +1,20 @@
 // Command neusim runs one workload on one NPU/MMU configuration and
-// prints the simulation summary.
+// prints the simulation summary, or sweeps a grid of workloads when given
+// comma-separated values.
 //
 // Usage:
 //
 //	neusim -model CNN-1 -batch 4 -mmu neummu -pages 4KB
 //	neusim -model RNN-3 -batch 1 -mmu iommu -ptws 8 -prmb 0
 //	neusim -model CNN-3 -batch 8 -mmu custom -ptws 128 -prmb 32 -tpreg
+//	neusim -model CNN-1,RNN-1 -batches 1,4,8 -mmu iommu -parallel
 //
 // The -mmu flag selects oracle, iommu, neummu, or custom; custom builds
-// the walker from the -ptws/-prmb/-tpreg/-tlb flags.
+// the walker from the -ptws/-prmb/-tpreg/-tlb flags. A comma-separated
+// -model or a -batches list switches to sweep mode: every (model, batch)
+// cell runs on the design-space sweep engine, fanned out over all CPUs by
+// default; -workers N bounds the pool and -workers 1 gives the serial
+// reference run (the rows are identical at every count, in grid order).
 package main
 
 import (
@@ -16,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"neummu/internal/core"
+	"neummu/internal/exp"
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
 	"neummu/internal/spatial"
@@ -30,8 +39,9 @@ import (
 
 func main() {
 	var (
-		model     = flag.String("model", "CNN-1", "workload: CNN-1..3, RNN-1..3 (or alexnet, resnet50, ...)")
+		model     = flag.String("model", "CNN-1", "workload(s): CNN-1..3, RNN-1..3 (or alexnet, resnet50, ...); comma-separated list sweeps")
 		batch     = flag.Int("batch", 1, "batch size")
+		batches   = flag.String("batches", "", "comma-separated batch sizes; sweeps the grid (overrides -batch)")
 		mmuKind   = flag.String("mmu", "neummu", "MMU: oracle, iommu, neummu, custom")
 		pages     = flag.String("pages", "4KB", "page size: 4KB or 2MB")
 		ptws      = flag.Int("ptws", 128, "custom: number of page-table walkers")
@@ -43,8 +53,34 @@ func main() {
 		useSpat   = flag.Bool("spatial", false, "use the spatial-array compute model instead of systolic")
 		compare   = flag.Bool("oracle-baseline", true, "also run the oracle and report normalized performance")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		parallel  = flag.Bool("parallel", false, "sweep mode: fan cells out over all CPUs (the default; kept for explicitness)")
+		workers   = flag.Int("workers", 0, "sweep mode: exact worker count (0 = all CPUs, 1 = serial reference)")
 	)
 	flag.Parse()
+
+	models := strings.Split(*model, ",")
+	for i := range models {
+		models[i] = strings.TrimSpace(models[i])
+	}
+	if len(models) > 1 || *batches != "" {
+		batchList, err := parseBatches(*batches, *batch)
+		if err == nil {
+			// Workers follows exp.Options semantics: 0 selects GOMAXPROCS,
+			// 1 is the serial reference run. -parallel is an explicit alias
+			// for -workers 0, so combining it with a bound is contradictory.
+			if *parallel && *workers != 0 {
+				fmt.Fprintf(os.Stderr, "neusim: -parallel (all CPUs) conflicts with -workers %d\n", *workers)
+				os.Exit(1)
+			}
+			err = runSweep(models, batchList, *mmuKind, *pages, *ptws, *prmb,
+				*tpreg, *tlbSize, *repeatCap, *tileCap, *workers, *useSpat, *compare, *asJSON)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neusim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *asJSON {
 		if err := runJSON(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
@@ -59,6 +95,127 @@ func main() {
 		fmt.Fprintln(os.Stderr, "neusim:", err)
 		os.Exit(1)
 	}
+}
+
+func parseBatches(list string, fallback int) ([]int, error) {
+	if list == "" {
+		return []int{fallback}, nil
+	}
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || b <= 0 {
+			return nil, fmt.Errorf("bad batch size %q", s)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// sweepAxes maps the CLI's MMU flags onto the engine's design-space axes.
+func sweepAxes(mmuKind, pages string, ptws, prmb int, tpreg bool, tlbSize int,
+	models []string, batchList []int) (exp.Axes, error) {
+	ps, err := parsePageSize(pages)
+	if err != nil {
+		return exp.Axes{}, err
+	}
+	ax := exp.Axes{
+		PageSizes: []vm.PageSize{ps},
+		Models:    models,
+		Batches:   batchList,
+	}
+	switch mmuKind {
+	case "oracle":
+		ax.Kinds = []core.Kind{core.Oracle}
+	case "iommu":
+		ax.Kinds = []core.Kind{core.IOMMU}
+	case "neummu":
+		ax.Kinds = []core.Kind{core.NeuMMU}
+	case "custom":
+		if tlbSize <= 0 {
+			// The engine reserves 0 for "kind-baseline capacity", so a
+			// deliberately degenerate 0-entry TLB is single-run only.
+			return exp.Axes{}, fmt.Errorf("-tlb must be positive in sweep mode")
+		}
+		ax.Kinds = []core.Kind{core.Custom}
+		ax.PTWs = []int{ptws}
+		ax.PRMBSlots = []int{prmb}
+		ax.PTS = []bool{true}
+		if tpreg {
+			ax.Paths = []walker.PathKind{walker.PathTPreg}
+		} else {
+			ax.Paths = []walker.PathKind{walker.PathNone}
+		}
+		ax.TLBEntries = []int{tlbSize}
+	default:
+		return exp.Axes{}, fmt.Errorf("unknown MMU kind %q", mmuKind)
+	}
+	return ax, nil
+}
+
+// sweepCell is the machine-readable row emitted by sweep mode with -json.
+type sweepCell struct {
+	Model          string  `json:"model"`
+	Batch          int     `json:"batch"`
+	MMU            string  `json:"mmu"`
+	PageSize       string  `json:"page_size"`
+	Cycles         int64   `json:"cycles"`
+	Translations   int64   `json:"translations"`
+	NormalizedPerf float64 `json:"normalized_perf"`
+}
+
+func runSweep(models []string, batchList []int, mmuKind, pages string, ptws, prmb int,
+	tpreg bool, tlbSize, repeatCap, tileCap, workers int, useSpatial, compare, asJSON bool) error {
+	if useSpatial {
+		return fmt.Errorf("-spatial is not supported in sweep mode (the engine normalizes against the systolic oracle)")
+	}
+	if !compare {
+		return fmt.Errorf("-oracle-baseline=false is not supported in sweep mode (every row is oracle-normalized)")
+	}
+	ax, err := sweepAxes(mmuKind, pages, ptws, prmb, tpreg, tlbSize, models, batchList)
+	if err != nil {
+		return err
+	}
+	if repeatCap == 0 {
+		// Match single-run semantics, where 0 means "simulate every
+		// repeat": the harness would otherwise substitute its paper
+		// default cap of 3, and npu treats any non-positive cap as
+		// unlimited.
+		repeatCap = -1
+	}
+	// Models/Batches live on the Axes (sweepAxes sets them explicitly), so
+	// the Options only carry effort and parallelism knobs.
+	h := exp.New(exp.Options{RepeatCap: repeatCap, TileCap: tileCap, Workers: workers})
+	rows, err := h.Sweep(ax)
+	if err != nil {
+		return err
+	}
+	cells := make([]sweepCell, len(rows))
+	for i, r := range rows {
+		cells[i] = sweepCell{
+			Model: r.Point.Model, Batch: r.Point.Batch,
+			MMU: r.Point.Kind.String(), PageSize: r.Point.PageSize.String(),
+			Cycles:         int64(r.Result.Cycles),
+			Translations:   r.Result.Translations,
+			NormalizedPerf: r.Perf,
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cells)
+	}
+	fmt.Printf("%-10s %-6s %-8s %-6s %14s %14s %12s\n",
+		"model", "batch", "mmu", "pages", "cycles", "translations", "norm. perf")
+	sum := 0.0
+	for _, c := range cells {
+		fmt.Printf("%-10s b%-5d %-8s %-6s %14d %14d %12.4f\n",
+			c.Model, c.Batch, c.MMU, c.PageSize, c.Cycles, c.Translations, c.NormalizedPerf)
+		sum += c.NormalizedPerf
+	}
+	fmt.Printf("%-10s %-6s %-8s %-6s %14s %14s %12.4f\n",
+		"average", "", "", "", "", "", sum/float64(len(cells)))
+	return nil
 }
 
 func run(model string, batch int, mmuKind, pages string, ptws, prmb int,
@@ -117,17 +274,23 @@ func run(model string, batch int, mmuKind, pages string, ptws, prmb int,
 	return nil
 }
 
+func parsePageSize(pages string) (vm.PageSize, error) {
+	switch pages {
+	case "4KB", "4K", "4k":
+		return vm.Page4K, nil
+	case "2MB", "2M", "2m":
+		return vm.Page2M, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q", pages)
+}
+
 // buildConfig assembles the npu configuration shared by the text and JSON
 // paths.
 func buildConfig(mmuKind, pages string, ptws, prmb int, tpreg bool,
 	tlbSize, repeatCap, tileCap int, useSpatial bool) (npu.Config, error) {
-	ps := vm.Page4K
-	switch pages {
-	case "4KB", "4K", "4k":
-	case "2MB", "2M", "2m":
-		ps = vm.Page2M
-	default:
-		return npu.Config{}, fmt.Errorf("unknown page size %q", pages)
+	ps, err := parsePageSize(pages)
+	if err != nil {
+		return npu.Config{}, err
 	}
 	var mcfg core.Config
 	switch mmuKind {

@@ -35,6 +35,45 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+func TestRunSweepModes(t *testing.T) {
+	for _, kind := range []string{"oracle", "iommu", "neummu", "custom"} {
+		err := runSweep([]string{"CNN-1", "RNN-1"}, []int{1}, kind, "4KB",
+			32, 8, true, 2048, 1, 2, 0, false, true, false)
+		if err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunSweepRejectsBadInput(t *testing.T) {
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
+		32, 8, true, 2048, 1, 2, 0, true, true, false); err == nil {
+		t.Fatal("-spatial accepted in sweep mode")
+	}
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
+		32, 8, true, 2048, 1, 2, 0, false, false, false); err == nil {
+		t.Fatal("-oracle-baseline=false accepted in sweep mode")
+	}
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "custom", "4KB",
+		32, 8, true, 0, 1, 2, 0, false, true, false); err == nil {
+		t.Fatal("-tlb 0 accepted in custom sweep mode")
+	}
+	if err := runSweep([]string{"VGG"}, []int{1}, "neummu", "4KB",
+		32, 8, true, 2048, 1, 2, 0, false, true, false); err == nil {
+		t.Fatal("unknown model accepted in sweep mode")
+	}
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "tlb-only", "4KB",
+		32, 8, true, 2048, 1, 2, 0, false, true, false); err == nil {
+		t.Fatal("unknown MMU kind accepted in sweep mode")
+	}
+	if _, err := parseBatches("1,x", 1); err == nil {
+		t.Fatal("bad batch list accepted")
+	}
+	if got, err := parseBatches("", 7); err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("empty batch list = %v, %v", got, err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
 		t.Fatal("unknown model accepted")

@@ -2,12 +2,21 @@
 //
 // Usage:
 //
-//	paperfigs                # regenerate everything (several minutes)
+//	paperfigs                # regenerate everything on all CPUs
+//	paperfigs -workers 1     # same output, the serial reference run
+//	paperfigs -workers 4     # same output, at most 4 simulations at once
 //	paperfigs -fig fig8      # one figure
 //	paperfigs -quick         # reduced sweep (seconds, for smoke tests)
 //
+// The grid-shaped figures run on the design-space sweep engine
+// (internal/exp), so -workers changes wall-clock time only: row ordering
+// and values are byte-identical at every worker count. The single-layer
+// trace (fig14) and the iterative demand-paging studies (steady, oversub)
+// are inherently sequential and run inline regardless of -workers.
+//
 // Figures: table1, fig6, fig7, fig8, fig10, fig11, fig12a, fig12b, fig13,
-// fig14, fig15, fig16, summary, tlbsweep, largepage, spatial, sensitivity.
+// fig14, fig15, fig16, summary, tlbsweep, largepage, spatial, sensitivity,
+// pathcache, multitenant, throttle, steady, oversub, dataflow.
 package main
 
 import (
@@ -27,12 +36,23 @@ var figures = []string{"table1", "fig6", "fig7", "fig8", "fig10", "fig11",
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate (or 'all')")
-		quick = flag.Bool("quick", false, "reduced sweep for smoke testing")
+		fig      = flag.String("fig", "all", "figure to regenerate (or 'all')")
+		quick    = flag.Bool("quick", false, "reduced sweep for smoke testing")
+		parallel = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
+		workers  = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
 	)
 	flag.Parse()
 
-	h := exp.New(exp.Options{Quick: *quick})
+	// Workers follows exp.Options semantics: 0 selects GOMAXPROCS, 1 is
+	// the serial reference run that parallel output is validated against.
+	// -parallel is an explicit alias for -workers 0, so combining it with
+	// a bound is contradictory.
+	if *parallel && *workers != 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: -parallel (all CPUs) conflicts with -workers %d\n", *workers)
+		os.Exit(1)
+	}
+	w := *workers
+	h := exp.New(exp.Options{Quick: *quick, Workers: w})
 	targets := figures
 	if *fig != "all" {
 		targets = strings.Split(*fig, ",")

@@ -1,0 +1,3 @@
+module neummu
+
+go 1.24

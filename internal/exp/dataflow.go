@@ -32,10 +32,11 @@ func (h *Harness) DataflowStudy() ([]DataflowRow, error) {
 	}
 	var rows []DataflowRow
 	for _, cm := range computes {
-		err := h.ForEach(func(model string, batch int) error {
+		cm := cm
+		group, err := gridRows(h, func(model string, batch int) (DataflowRow, error) {
 			plan, err := h.plan(model, batch)
 			if err != nil {
-				return err
+				return DataflowRow{}, err
 			}
 			run := func(kind core.Kind) (*npu.Result, error) {
 				cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
@@ -47,26 +48,26 @@ func (h *Harness) DataflowStudy() ([]DataflowRow, error) {
 			}
 			oracle, err := run(core.Oracle)
 			if err != nil {
-				return err
+				return DataflowRow{}, err
 			}
 			io, err := run(core.IOMMU)
 			if err != nil {
-				return err
+				return DataflowRow{}, err
 			}
 			neu, err := run(core.NeuMMU)
 			if err != nil {
-				return err
+				return DataflowRow{}, err
 			}
-			rows = append(rows, DataflowRow{
+			return DataflowRow{
 				Dataflow: cm.Name(), Model: model, Batch: batch,
 				IOMMU:  io.NormalizedPerf(oracle),
 				NeuMMU: neu.NormalizedPerf(oracle),
-			})
-			return nil
+			}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		rows = append(rows, group...)
 	}
 	return rows, nil
 }

@@ -11,12 +11,12 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"neummu/internal/core"
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
+	"neummu/internal/sim"
 	"neummu/internal/systolic"
 	"neummu/internal/tlb"
 	"neummu/internal/vm"
@@ -38,6 +38,11 @@ type Options struct {
 	// Quick shrinks the sweep for benchmark iterations: CNN-1 and RNN-1
 	// only, batch 4, capped tiles.
 	Quick bool
+	// Workers bounds the sweep engine's host-side parallelism: how many
+	// independent simulations run at once. 0 selects GOMAXPROCS; 1 forces
+	// serial execution. Row ordering and values are identical at every
+	// setting — the knob trades wall-clock time only.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -71,8 +76,14 @@ func (o Options) normalized() Options {
 // Harness runs simulations with memoized oracle baselines. All methods
 // are safe for concurrent use: plans and oracle runs are computed once
 // under a per-key lock and shared (plans are read-only after building).
+// Every grid-shaped figure, table, and sweep fans out over the harness's
+// worker pool (see Options.Workers), so the caches are shared across
+// workers rather than rebuilt per cell; the inherently sequential studies
+// (the Fig14 trace and the iterative SteadyState/Oversubscription runs)
+// execute inline and ignore the pool.
 type Harness struct {
 	opts Options
+	pool *sim.WorkerPool
 
 	mu     sync.Mutex
 	oracle map[string]*npu.Result
@@ -82,8 +93,10 @@ type Harness struct {
 
 // New returns a harness with the given options.
 func New(opts Options) *Harness {
+	opts = opts.normalized()
 	return &Harness{
-		opts:   opts.normalized(),
+		opts:   opts,
+		pool:   sim.NewWorkerPool(opts.Workers),
 		oracle: make(map[string]*npu.Result),
 		plans:  make(map[string]*workloads.Plan),
 		locks:  make(map[string]*sync.Mutex),
@@ -210,68 +223,31 @@ func customMMU(ps vm.PageSize, ptws, prmb int, usePTS bool, path walker.PathKind
 	}
 }
 
-// ForEach iterates the configured (model, batch) grid sequentially.
-func (h *Harness) ForEach(fn func(model string, batch int) error) error {
-	for _, m := range h.opts.Models {
-		for _, b := range h.opts.Batches {
-			if err := fn(m, b); err != nil {
-				return fmt.Errorf("%s b%02d: %w", m, b, err)
-			}
-		}
-	}
-	return nil
-}
-
 // NormPerfGrid evaluates one MMU configuration over the whole
-// (model, batch) grid concurrently — the sweeps' inner loop — and returns
-// rows in deterministic grid order. Worker count is bounded by
-// GOMAXPROCS; simulations are independent (each builds its own page
-// tables and event queue) so only the harness caches need locking.
+// (model, batch) grid on the sweep engine's worker pool and returns rows
+// in deterministic grid order. Simulations are independent (each builds
+// its own page tables and event queue) so only the harness caches need
+// locking.
 func (h *Harness) NormPerfGrid(cfg core.Config) ([]NormPerfRow, []*npu.Result, error) {
-	type cell struct {
-		model string
-		batch int
+	type cellResult struct {
+		row NormPerfRow
+		res *npu.Result
 	}
-	var cells []cell
-	for _, m := range h.opts.Models {
-		for _, b := range h.opts.Batches {
-			cells = append(cells, cell{m, b})
-		}
-	}
-	rows := make([]NormPerfRow, len(cells))
-	results := make([]*npu.Result, len(cells))
-	errs := make([]error, len(cells))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				perf, res, err := h.NormPerf(cells[i].model, cells[i].batch, cfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("%s b%02d: %w", cells[i].model, cells[i].batch, err)
-					continue
-				}
-				rows[i] = NormPerfRow{Model: cells[i].model, Batch: cells[i].batch, Perf: perf}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range cells {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
+	out, err := gridRows(h, func(model string, batch int) (cellResult, error) {
+		perf, res, err := h.NormPerf(model, batch, cfg)
 		if err != nil {
-			return nil, nil, err
+			return cellResult{}, err
 		}
+		return cellResult{NormPerfRow{Model: model, Batch: batch, Perf: perf}, res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]NormPerfRow, len(out))
+	results := make([]*npu.Result, len(out))
+	for i, c := range out {
+		rows[i] = c.row
+		results[i] = c.res
 	}
 	return rows, results, nil
 }

@@ -22,20 +22,17 @@ type PageDivergenceRow struct {
 // Fig6 measures the maximum and average number of distinct pages accessed
 // per DMA tile fetch under 4 KB pages.
 func (h *Harness) Fig6() ([]PageDivergenceRow, error) {
-	var rows []PageDivergenceRow
-	err := h.ForEach(func(model string, batch int) error {
+	return gridRows(h, func(model string, batch int) (PageDivergenceRow, error) {
 		res, err := h.Oracle(model, batch, vm.Page4K)
 		if err != nil {
-			return err
+			return PageDivergenceRow{}, err
 		}
-		rows = append(rows, PageDivergenceRow{
+		return PageDivergenceRow{
 			Model: model, Batch: batch,
 			Avg: res.PageDivergence.Mean(),
 			Max: res.PageDivergence.Max,
-		})
-		return nil
+		}, nil
 	})
-	return rows, err
 }
 
 // BurstSeries is one panel of Figure 7: translations requested per
@@ -48,25 +45,24 @@ type BurstSeries struct {
 // Fig7 captures the translation-burst timelines for CNN-1 and RNN-1 at
 // batch 1, the two panels of Figure 7.
 func (h *Harness) Fig7() ([]BurstSeries, error) {
-	var out []BurstSeries
 	models := []string{"CNN-1", "RNN-1"}
 	if h.opts.Quick {
 		models = models[:1]
 	}
-	for _, model := range models {
+	return runGrid(h, len(models), func(i int) (BurstSeries, error) {
+		model := models[i]
 		plan, err := h.plan(model, 1)
 		if err != nil {
-			return nil, err
+			return BurstSeries{}, err
 		}
 		cfg := h.npuConfig(core.Config{Kind: core.Oracle, PageSize: vm.Page4K})
 		cfg.TimelineWindow = 1000
 		res, err := npu.Run(plan, cfg)
 		if err != nil {
-			return nil, err
+			return BurstSeries{}, err
 		}
-		out = append(out, BurstSeries{Model: model, Series: res.Timeline})
-	}
-	return out, nil
+		return BurstSeries{Model: model, Series: res.Timeline}, nil
+	})
 }
 
 // NormPerfRow is one bar of a normalized-performance figure.
@@ -79,15 +75,7 @@ type NormPerfRow struct {
 // Fig8 measures the baseline IOMMU (2048-entry TLB, 8 PTWs) normalized to
 // the oracular MMU with 4 KB pages.
 func (h *Harness) Fig8() ([]NormPerfRow, error) {
-	var rows []NormPerfRow
-	err := h.ForEach(func(model string, batch int) error {
-		perf, _, err := h.NormPerf(model, batch, core.ConfigFor(core.IOMMU, vm.Page4K))
-		if err != nil {
-			return err
-		}
-		rows = append(rows, NormPerfRow{Model: model, Batch: batch, Perf: perf})
-		return nil
-	})
+	rows, _, err := h.NormPerfGrid(core.ConfigFor(core.IOMMU, vm.Page4K))
 	return rows, err
 }
 
@@ -105,16 +93,18 @@ func (h *Harness) Fig10() ([]SweepRow, error) {
 	if h.opts.Quick {
 		slots = []int{1, 8, 32}
 	}
-	var rows []SweepRow
-	for _, s := range slots {
-		cfg := customMMU(vm.Page4K, 8, s, true, walker.PathNone, 0)
-		grid, _, err := h.NormPerfGrid(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, g := range grid {
-			rows = append(rows, SweepRow{Param: s, Model: g.Model, Batch: g.Batch, Perf: g.Perf})
-		}
+	res, err := h.Sweep(Axes{
+		Kinds:     []core.Kind{core.Custom},
+		PTWs:      []int{8},
+		PRMBSlots: slots,
+		Paths:     []walker.PathKind{walker.PathNone},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(res))
+	for i, r := range res {
+		rows[i] = SweepRow{Param: r.Point.PRMBSlots, Model: r.Point.Model, Batch: r.Point.Batch, Perf: r.Perf}
 	}
 	return rows, nil
 }
@@ -135,21 +125,24 @@ func (h *Harness) ptwSweep(withPRMB bool) ([]SweepRow, error) {
 	if h.opts.Quick {
 		ptws = []int{8, 128, 1024}
 	}
-	var rows []SweepRow
-	for _, n := range ptws {
-		var cfg core.Config
-		if withPRMB {
-			cfg = customMMU(vm.Page4K, n, 32, true, walker.PathNone, 0)
-		} else {
-			cfg = customMMU(vm.Page4K, n, 0, false, walker.PathNone, 0)
-		}
-		grid, _, err := h.NormPerfGrid(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, g := range grid {
-			rows = append(rows, SweepRow{Param: n, Model: g.Model, Batch: g.Batch, Perf: g.Perf})
-		}
+	ax := Axes{
+		Kinds: []core.Kind{core.Custom},
+		PTWs:  ptws,
+		Paths: []walker.PathKind{walker.PathNone},
+	}
+	if withPRMB {
+		ax.PRMBSlots = []int{32}
+	} else {
+		ax.PRMBSlots = []int{0}
+		ax.PTS = []bool{false}
+	}
+	res, err := h.Sweep(ax)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(res))
+	for i, r := range res {
+		rows[i] = SweepRow{Param: r.Point.PTWs, Model: r.Point.Model, Batch: r.Point.Batch, Perf: r.Perf}
 	}
 	return rows, nil
 }
@@ -171,23 +164,33 @@ func (h *Harness) Fig12b() ([]EnergyPerfRow, error) {
 		pairs = [][2]int{{512, 8}, {32, 128}, {1, 4096}}
 	}
 	costs := energy.Default45nm()
+	// The [M,N] frontier is not a cartesian product (M·N is constant), so
+	// build the point list explicitly and hand it to the engine.
+	cells := h.gridCells()
+	var points []Point
+	for _, p := range pairs {
+		for _, c := range cells {
+			points = append(points, Point{
+				Kind: core.Custom, PageSize: vm.Page4K, Model: c.model, Batch: c.batch,
+				PTWs: p[1], PRMBSlots: p[0], PTS: true, Path: walker.PathNone,
+			})
+		}
+	}
+	swept, err := h.SweepPoints(points)
+	if err != nil {
+		return nil, err
+	}
 	type agg struct {
 		perfSum float64
 		perfN   int
 		energy  float64
 	}
 	results := make([]agg, len(pairs))
-	for i, p := range pairs {
-		cfg := customMMU(vm.Page4K, p[1], p[0], true, walker.PathNone, 0)
-		grid, runs, err := h.NormPerfGrid(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for j, g := range grid {
-			results[i].perfSum += g.Perf
-			results[i].perfN++
-			results[i].energy += energy.Translation(runs[j], costs).Total()
-		}
+	for k, r := range swept {
+		i := k / len(cells)
+		results[i].perfSum += r.Perf
+		results[i].perfN++
+		results[i].energy += energy.Translation(r.Result, costs).Total()
 	}
 	// Normalize energy to the nominal [32,128] point.
 	nominal := 0.0
@@ -220,17 +223,14 @@ type TPregRow struct {
 // Fig13 measures the TPreg tag-match rates at the L4/L3/L2 indices under
 // the full NeuMMU configuration.
 func (h *Harness) Fig13() ([]TPregRow, error) {
-	var rows []TPregRow
-	err := h.ForEach(func(model string, batch int) error {
+	return gridRows(h, func(model string, batch int) (TPregRow, error) {
 		res, err := h.Run(model, batch, core.ConfigFor(core.NeuMMU, vm.Page4K))
 		if err != nil {
-			return err
+			return TPregRow{}, err
 		}
 		l4, l3, l2 := res.Path.Rates()
-		rows = append(rows, TPregRow{Model: model, Batch: batch, L4: l4, L3: l3, L2: l2})
-		return nil
+		return TPregRow{Model: model, Batch: batch, L4: l4, L3: l3, L2: l2}, nil
 	})
-	return rows, err
 }
 
 // VATraceRow is one sampled point of Figure 14's virtual-address trace.
@@ -293,25 +293,22 @@ type LargePageRow struct {
 
 // LargePageDense evaluates §VI-A's dense-workload large-page results.
 func (h *Harness) LargePageDense() ([]LargePageRow, error) {
-	var rows []LargePageRow
-	err := h.ForEach(func(model string, batch int) error {
+	return gridRows(h, func(model string, batch int) (LargePageRow, error) {
 		p4, _, err := h.NormPerf(model, batch, core.ConfigFor(core.IOMMU, vm.Page4K))
 		if err != nil {
-			return err
+			return LargePageRow{}, err
 		}
 		p2, _, err := h.NormPerf(model, batch, core.ConfigFor(core.IOMMU, vm.Page2M))
 		if err != nil {
-			return err
+			return LargePageRow{}, err
 		}
 		n2, _, err := h.NormPerf(model, batch, core.ConfigFor(core.NeuMMU, vm.Page2M))
 		if err != nil {
-			return err
+			return LargePageRow{}, err
 		}
-		rows = append(rows, LargePageRow{Model: model, Batch: batch,
-			Perf4K: p4, Perf2M: p2, NeuMMU2M: n2})
-		return nil
+		return LargePageRow{Model: model, Batch: batch,
+			Perf4K: p4, Perf2M: p2, NeuMMU2M: n2}, nil
 	})
-	return rows, err
 }
 
 // TLBSweepRow is one point of §III-C's TLB-capacity sweep.
@@ -328,18 +325,23 @@ func (h *Harness) TLBSweep() ([]TLBSweepRow, error) {
 	if h.opts.Quick {
 		sizes = []int{2048, 131072}
 	}
-	var rows []TLBSweepRow
-	for _, n := range sizes {
-		cfg := customMMU(vm.Page4K, 8, 0, false, walker.PathNone, n)
-		grid, _, err := h.NormPerfGrid(cfg)
-		if err != nil {
-			return nil, err
-		}
-		sum := 0.0
-		for _, g := range grid {
-			sum += g.Perf
-		}
-		rows = append(rows, TLBSweepRow{Entries: n, Perf: sum / float64(len(grid))})
+	res, err := h.Sweep(Axes{
+		Kinds:      []core.Kind{core.Custom},
+		PTWs:       []int{8},
+		PRMBSlots:  []int{0},
+		PTS:        []bool{false},
+		Paths:      []walker.PathKind{walker.PathNone},
+		TLBEntries: sizes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cellsPerSize := len(res) / len(sizes)
+	rows := make([]TLBSweepRow, len(sizes))
+	for k, r := range res {
+		i := k / cellsPerSize
+		rows[i].Entries = r.Point.TLBEntries
+		rows[i].Perf += r.Perf / float64(cellsPerSize)
 	}
 	return rows, nil
 }
@@ -356,11 +358,10 @@ type SpatialRow struct {
 // model, checking that NeuMMU still closes the IOMMU gap (§VI-B reports
 // an average 2% residual overhead).
 func (h *Harness) SpatialNPU() ([]SpatialRow, error) {
-	var rows []SpatialRow
-	err := h.ForEach(func(model string, batch int) error {
+	return gridRows(h, func(model string, batch int) (SpatialRow, error) {
 		plan, err := h.plan(model, batch)
 		if err != nil {
-			return err
+			return SpatialRow{}, err
 		}
 		run := func(kind core.Kind) (*npu.Result, error) {
 			cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
@@ -372,21 +373,19 @@ func (h *Harness) SpatialNPU() ([]SpatialRow, error) {
 		}
 		oracle, err := run(core.Oracle)
 		if err != nil {
-			return err
+			return SpatialRow{}, err
 		}
 		io, err := run(core.IOMMU)
 		if err != nil {
-			return err
+			return SpatialRow{}, err
 		}
 		neu, err := run(core.NeuMMU)
 		if err != nil {
-			return err
+			return SpatialRow{}, err
 		}
-		rows = append(rows, SpatialRow{Model: model, Batch: batch,
-			IOMMU: io.NormalizedPerf(oracle), NeuMMU: neu.NormalizedPerf(oracle)})
-		return nil
+		return SpatialRow{Model: model, Batch: batch,
+			IOMMU: io.NormalizedPerf(oracle), NeuMMU: neu.NormalizedPerf(oracle)}, nil
 	})
-	return rows, err
 }
 
 // SensitivityRow is one large-batch common-layer result (§VI-C).
@@ -404,46 +403,51 @@ func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
 	if h.opts.Quick {
 		batches = []int{32}
 	}
-	var rows []SensitivityRow
+	// The cells use common-layer plans at training-scale batches, outside
+	// the harness's plan cache, so flatten the (model, batch) product and
+	// let each cell build its own plan on the pool.
+	type cell struct {
+		model string
+		batch int
+	}
+	var cells []cell
 	for _, model := range h.opts.Models {
-		m, err := workloads.CommonLayer(model)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := workloads.BuildPlan(m, 1, workloads.DefaultTiles())
-		if err != nil {
-			return nil, err
-		}
-		_ = plan
 		for _, b := range batches {
-			plan, err := workloads.BuildPlan(m, b, workloads.DefaultTiles())
-			if err != nil {
-				return nil, err
-			}
-			run := func(kind core.Kind) (*npu.Result, error) {
-				cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
-				if kind == core.Oracle {
-					cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
-				}
-				return npu.Run(plan, cfg)
-			}
-			oracle, err := run(core.Oracle)
-			if err != nil {
-				return nil, err
-			}
-			io, err := run(core.IOMMU)
-			if err != nil {
-				return nil, err
-			}
-			neu, err := run(core.NeuMMU)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SensitivityRow{Model: model, Batch: b,
-				IOMMU: io.NormalizedPerf(oracle), NeuMMU: neu.NormalizedPerf(oracle)})
+			cells = append(cells, cell{model, b})
 		}
 	}
-	return rows, nil
+	return runGrid(h, len(cells), func(i int) (SensitivityRow, error) {
+		model, b := cells[i].model, cells[i].batch
+		m, err := workloads.CommonLayer(model)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		plan, err := workloads.BuildPlan(m, b, workloads.DefaultTiles())
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		run := func(kind core.Kind) (*npu.Result, error) {
+			cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
+			if kind == core.Oracle {
+				cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
+			}
+			return npu.Run(plan, cfg)
+		}
+		oracle, err := run(core.Oracle)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		io, err := run(core.IOMMU)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		neu, err := run(core.NeuMMU)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		return SensitivityRow{Model: model, Batch: b,
+			IOMMU: io.NormalizedPerf(oracle), NeuMMU: neu.NormalizedPerf(oracle)}, nil
+	})
 }
 
 // Summary reproduces §IV-D's headline numbers.
@@ -459,30 +463,42 @@ type Summary struct {
 // configured suite.
 func (h *Harness) RunSummary() (Summary, error) {
 	costs := energy.Default45nm()
-	var s Summary
-	var ioEnergy, neuEnergy float64
-	var ioWalkMem, neuWalkMem int64
-	n := 0
-	err := h.ForEach(func(model string, batch int) error {
+	type cellStats struct {
+		pIO, pNeu           float64
+		ioEnergy, neuEnergy float64
+		ioWalkMem, neuWalk  int64
+	}
+	cells, err := gridRows(h, func(model string, batch int) (cellStats, error) {
 		pIO, rIO, err := h.NormPerf(model, batch, core.ConfigFor(core.IOMMU, vm.Page4K))
 		if err != nil {
-			return err
+			return cellStats{}, err
 		}
 		pNeu, rNeu, err := h.NormPerf(model, batch, core.ConfigFor(core.NeuMMU, vm.Page4K))
 		if err != nil {
-			return err
+			return cellStats{}, err
 		}
-		s.IOMMUAvgPerf += pIO
-		s.NeuMMUAvgPerf += pNeu
-		ioEnergy += energy.Translation(rIO, costs).Total()
-		neuEnergy += energy.Translation(rNeu, costs).Total()
-		ioWalkMem += rIO.Walker.WalkMemAccesses
-		neuWalkMem += rNeu.Walker.WalkMemAccesses
-		n++
-		return nil
+		return cellStats{
+			pIO: pIO, pNeu: pNeu,
+			ioEnergy:  energy.Translation(rIO, costs).Total(),
+			neuEnergy: energy.Translation(rNeu, costs).Total(),
+			ioWalkMem: rIO.Walker.WalkMemAccesses,
+			neuWalk:   rNeu.Walker.WalkMemAccesses,
+		}, nil
 	})
 	if err != nil {
 		return Summary{}, err
+	}
+	var s Summary
+	var ioEnergy, neuEnergy float64
+	var ioWalkMem, neuWalkMem int64
+	n := len(cells)
+	for _, c := range cells {
+		s.IOMMUAvgPerf += c.pIO
+		s.NeuMMUAvgPerf += c.pNeu
+		ioEnergy += c.ioEnergy
+		neuEnergy += c.neuEnergy
+		ioWalkMem += c.ioWalkMem
+		neuWalkMem += c.neuWalk
 	}
 	s.IOMMUAvgPerf /= float64(n)
 	s.NeuMMUAvgPerf /= float64(n)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"neummu/internal/core"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
 )
@@ -23,38 +24,35 @@ type PathCacheRow struct {
 // benefit — the TPreg proposal.
 func (h *Harness) PathCacheStudy() ([]PathCacheRow, error) {
 	kinds := []walker.PathKind{walker.PathNone, walker.PathTPreg, walker.PathTPC, walker.PathUPTC}
-	var rows []PathCacheRow
-	for _, kind := range kinds {
-		cfg := customMMU(vm.Page4K, 128, 32, true, kind, 0)
-		var agg PathCacheRow
+	// One engine sweep over the path-kind × (model, batch) product; the
+	// per-kind aggregation happens on the ordered rows afterwards.
+	res, err := h.Sweep(Axes{
+		Kinds: []core.Kind{core.Custom},
+		Paths: kinds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perKind := len(res) / len(kinds)
+	rows := make([]PathCacheRow, len(kinds))
+	for i, kind := range kinds {
+		agg := &rows[i]
 		agg.Kind = kind
-		var l4, l3, l2, perf float64
 		var walks, mem int64
-		n := 0
-		err := h.ForEach(func(model string, batch int) error {
-			p, res, err := h.NormPerf(model, batch, cfg)
-			if err != nil {
-				return err
-			}
-			rl4, rl3, rl2 := res.Path.Rates()
-			l4 += rl4
-			l3 += rl3
-			l2 += rl2
-			perf += p
-			walks += res.Walker.WalksStarted
-			mem += res.Walker.WalkMemAccesses
-			n++
-			return nil
-		})
-		if err != nil {
-			return nil, err
+		for _, r := range res[i*perKind : (i+1)*perKind] {
+			rl4, rl3, rl2 := r.Result.Path.Rates()
+			agg.L4 += rl4
+			agg.L3 += rl3
+			agg.L2 += rl2
+			agg.Perf += r.Perf
+			walks += r.Result.Walker.WalksStarted
+			mem += r.Result.Walker.WalkMemAccesses
 		}
-		agg.L4, agg.L3, agg.L2 = l4/float64(n), l3/float64(n), l2/float64(n)
-		agg.Perf = perf / float64(n)
+		n := float64(perKind)
+		agg.L4, agg.L3, agg.L2, agg.Perf = agg.L4/n, agg.L3/n, agg.L2/n, agg.Perf/n
 		if walks > 0 {
 			agg.WalkMemPerWalk = float64(mem) / float64(walks)
 		}
-		rows = append(rows, agg)
 	}
 	return rows, nil
 }
@@ -76,24 +74,23 @@ func (h *Harness) MultiTenant() ([]MultiTenantRow, error) {
 	if h.opts.Quick {
 		fractions = []int{0, 112, 126}
 	}
-	var rows []MultiTenantRow
-	for _, stolen := range fractions {
-		cfg := customMMU(vm.Page4K, 128-stolen, 32, true, walker.PathTPreg, 0)
-		sum := 0.0
-		n := 0
-		err := h.ForEach(func(model string, batch int) error {
-			p, _, err := h.NormPerf(model, batch, cfg)
-			if err != nil {
-				return err
-			}
-			sum += p
-			n++
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, MultiTenantRow{StolenPTWs: stolen, Perf: sum / float64(n)})
+	remaining := make([]int, len(fractions))
+	for i, stolen := range fractions {
+		remaining[i] = 128 - stolen
+	}
+	res, err := h.Sweep(Axes{
+		Kinds: []core.Kind{core.Custom},
+		PTWs:  remaining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPoint := len(res) / len(fractions)
+	rows := make([]MultiTenantRow, len(fractions))
+	for k, r := range res {
+		i := k / perPoint
+		rows[i].StolenPTWs = fractions[i]
+		rows[i].Perf += r.Perf / float64(perPoint)
 	}
 	return rows, nil
 }
@@ -117,25 +114,21 @@ func (h *Harness) BurstThrottle() ([]BurstThrottleRow, error) {
 	if h.opts.Quick {
 		depths = []int{1, 16}
 	}
+	// QueueDepth is not a sweep axis, so run one engine grid per depth
+	// (the grid itself fans out over the pool).
 	var rows []BurstThrottleRow
 	for _, d := range depths {
 		cfg := customMMU(vm.Page4K, 8, 0, false, walker.PathNone, 0)
 		cfg.Walker.QueueDepth = d
-		sum := 0.0
-		n := 0
-		err := h.ForEach(func(model string, batch int) error {
-			p, _, err := h.NormPerf(model, batch, cfg)
-			if err != nil {
-				return err
-			}
-			sum += p
-			n++
-			return nil
-		})
+		grid, _, err := h.NormPerfGrid(cfg)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, BurstThrottleRow{IssueInterval: d, Perf: sum / float64(n)})
+		sum := 0.0
+		for _, g := range grid {
+			sum += g.Perf
+		}
+		rows = append(rows, BurstThrottleRow{IssueInterval: d, Perf: sum / float64(len(grid))})
 	}
 	return rows, nil
 }

@@ -1,5 +1,22 @@
 package sim
 
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the repository's two admission limiters:
+//
+//   - RateLimiter bounds *simulated* throughput: bytes per simulated cycle
+//     through a modeled resource (a DRAM channel, an interconnect link).
+//   - WorkerPool bounds *host* concurrency: simulations running at once on
+//     the machine executing the experiments.
+//
+// The two never interact — a simulation is single-goroutine by design, so
+// RateLimiter needs no locking, while WorkerPool schedules whole
+// simulations and never touches simulated time.
+
 // RateLimiter serializes access to a resource that admits a fixed number of
 // byte-equivalents per cycle, such as a memory channel or an interconnect
 // link. It is the building block for every bandwidth model in the
@@ -53,4 +70,90 @@ func (r *RateLimiter) BusyUntil() Cycle { return r.busyUntil }
 func (r *RateLimiter) Reset() {
 	r.busyUntil = 0
 	r.fracDebt = 0
+}
+
+// WorkerPool fans index-addressed tasks out over a bounded number of
+// goroutines. It is the execution substrate of the design-space sweep
+// engine (internal/exp): every figure, table, and sweep hands the pool one
+// task per grid cell, and each task runs one independent single-goroutine
+// simulation (its own event Queue, page tables, and DMA engine), so the
+// pool parallelizes across simulations without ever threading one.
+//
+// Determinism is the caller's contract and the pool's reason to exist in
+// this repository: because tasks write results by index and Do reports the
+// lowest-indexed failure, the observable outcome of a pool run is
+// independent of goroutine interleaving — a sweep executed on 1 worker and
+// on 64 workers yields byte-identical rows.
+type WorkerPool struct {
+	workers int
+}
+
+// NewWorkerPool returns a pool executing at most workers tasks
+// concurrently. workers <= 0 selects GOMAXPROCS; workers == 1 yields a
+// pool that runs tasks inline on the calling goroutine, the serial
+// baseline that parallel sweeps are validated against.
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Do evaluates task(0) .. task(n-1), running at most Workers of them at a
+// time, and blocks until every started task has returned. If any tasks
+// fail, Do returns the error of the lowest-indexed failure and stops
+// dispatching further indexes (callers discard all results on error, so
+// finishing the grid would be wasted work). Fail-fast does not cost
+// determinism: indexes are dispatched in increasing order, so by the time
+// any failure is observed every lower index has already been dispatched —
+// the lowest-indexed failing task therefore always runs, and it is the
+// error reported regardless of goroutine interleaving.
+func (p *WorkerPool) Do(n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		// Inline serial path: no goroutines, so the run is serial in the
+		// strongest sense (same goroutine, same stack, same scheduling).
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := task(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,12 +1,20 @@
 // Package sim provides the event-driven simulation core shared by every
-// timing model in the repository: a 64-bit cycle clock and a deterministic
-// binary-heap event queue.
+// timing model in the repository — a 64-bit cycle clock, a deterministic
+// binary-heap event queue, and the admission limiters (RateLimiter for
+// simulated bandwidth, WorkerPool for host-side parallelism) that every
+// higher layer builds on.
 //
 // All NeuMMU timing components (DMA issue, TLB lookups, page-table walks,
 // memory transactions, interconnect transfers) are expressed as events on a
 // single queue. Determinism matters for reproducibility: events scheduled
 // for the same cycle fire in insertion order, so repeated runs of a seeded
 // experiment produce bit-identical statistics.
+//
+// A Queue is deliberately single-goroutine: one simulation owns one queue
+// and never shares it. Parallelism lives one level up — the experiment
+// harness (internal/exp) runs many independent simulations at once over a
+// WorkerPool, each with its own Queue, which is how sweeps scale across
+// cores without perturbing any individual simulation's event order.
 package sim
 
 // Cycle is a point in simulated time, measured in NPU clock cycles

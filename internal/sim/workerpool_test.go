@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkerPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		pool := NewWorkerPool(workers)
+		if err := pool.Do(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 40
+	var inFlight, peak int32
+	var mu sync.Mutex
+	pool := NewWorkerPool(workers)
+	err := pool.Do(n, func(int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+}
+
+func TestWorkerPoolReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		pool := NewWorkerPool(workers)
+		err := pool.Do(50, func(i int) error {
+			if i%10 == 7 { // fails at 7, 17, 27, ...
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("workers=%d: want lowest-indexed error, got %v", workers, err)
+		}
+	}
+}
+
+func TestWorkerPoolSerialFailsFast(t *testing.T) {
+	var ran int32
+	err := NewWorkerPool(1).Do(30, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			return errors.New("cell 2 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 2 failed" {
+		t.Fatalf("want the failure at index 2, got %v", err)
+	}
+	if ran != 3 {
+		t.Fatalf("serial run evaluated %d tasks after failing at index 2", ran)
+	}
+}
+
+func TestWorkerPoolParallelStopsDispatchAfterFailure(t *testing.T) {
+	const n = 50
+	var ran int32
+	pool := NewWorkerPool(4)
+	err := pool.Do(n, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("cell 0 failed")
+		}
+		// Keep the other workers busy long enough for the dispatcher to
+		// observe the failure before it could drain the whole grid.
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err == nil || err.Error() != "cell 0 failed" {
+		t.Fatalf("want the failure at index 0, got %v", err)
+	}
+	if got := atomic.LoadInt32(&ran); got == n {
+		t.Fatalf("all %d tasks ran after an early failure; dispatch did not stop", n)
+	}
+}
+
+func TestWorkerPoolZeroTasks(t *testing.T) {
+	if err := NewWorkerPool(4).Do(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := NewWorkerPool(0).Workers(); w < 1 {
+		t.Fatalf("default pool has %d workers", w)
+	}
+	if w := NewWorkerPool(-5).Workers(); w < 1 {
+		t.Fatalf("negative-request pool has %d workers", w)
+	}
+}

@@ -4,12 +4,16 @@
 // Efficient Address Translations in Neural Processing Units" (Hyun et al.,
 // ASPLOS 2020).
 //
-// The package exposes three layers:
+// The package exposes four layers:
 //
 //   - Simulate / SimulateSparse run one workload on one MMU configuration
 //     and return cycle-accurate results (the quickstart path).
+//   - Sweep evaluates a cartesian design space (MMU kind × page size ×
+//     model × batch × walker knobs) on a bounded worker pool, returning
+//     deterministically ordered rows (see examples/sweep).
 //   - Harness regenerates every table and figure of the paper's
-//     evaluation (see EXPERIMENTS.md for the full index).
+//     evaluation (see EXPERIMENTS.md for the full index); each figure is
+//     itself a sweep on the same engine.
 //   - The type aliases re-export the building blocks (MMU kinds, page
 //     sizes, configurations) for callers composing their own studies.
 //
@@ -27,6 +31,7 @@ import (
 	"neummu/internal/spatial"
 	"neummu/internal/systolic"
 	"neummu/internal/vm"
+	"neummu/internal/walker"
 	"neummu/internal/workloads"
 )
 
@@ -44,6 +49,21 @@ const (
 	// ThroughputNeuMMU is the paper's proposal: 128 walkers with 32-slot
 	// PRMBs, a pending-translation scoreboard, and per-walker TPregs.
 	ThroughputNeuMMU = core.NeuMMU
+	// CustomMMU builds the walker from per-point knobs; it is the kind to
+	// sweep when exploring the design space (see Sweep and SweepAxes).
+	CustomMMU = core.Custom
+)
+
+// PathKind selects a translation-path caching scheme for CustomMMU sweep
+// points (§IV-C design space).
+type PathKind = walker.PathKind
+
+// Translation-path caching schemes.
+const (
+	PathNone  = walker.PathNone
+	PathTPreg = walker.PathTPreg
+	PathTPC   = walker.PathTPC
+	PathUPTC  = walker.PathUPTC
 )
 
 // PageSize is a virtual-memory page granularity.
@@ -156,8 +176,35 @@ func SimulateSparseIterations(model string, batch, iterations int, mode GatherMo
 // for the per-figure methods and EXPERIMENTS.md for the index.
 type Harness = exp.Harness
 
-// HarnessOptions tunes harness effort (Quick mode shrinks sweeps for CI).
+// HarnessOptions tunes harness effort (Quick mode shrinks sweeps for CI;
+// Workers bounds the sweep engine's parallelism, 0 = GOMAXPROCS).
 type HarnessOptions = exp.Options
 
 // NewHarness returns a figure-regeneration harness.
 func NewHarness(opts HarnessOptions) *Harness { return exp.New(opts) }
+
+// SweepAxes declares the cartesian design space of a sweep: any subset of
+// MMU kind × page size × model × batch × walker shape (PTW count, PRMB
+// slots, scoreboard, path caching, TLB capacity). Unset axes take
+// defaults; see the field documentation on exp.Axes.
+type SweepAxes = exp.Axes
+
+// SweepPoint is one fully specified design point of a sweep grid.
+type SweepPoint = exp.Point
+
+// SweepResult is one evaluated sweep point: the point itself, performance
+// normalized to the oracle MMU at the point's page size, and the full
+// simulation result for deeper metrics.
+type SweepResult = exp.SweepResult
+
+// Sweep expands the axes into their cartesian product and evaluates every
+// design point on a bounded worker pool (opts.Workers; 0 = GOMAXPROCS),
+// returning typed rows in deterministic grid order regardless of how the
+// parallel execution interleaves. Oracle baselines and tiling plans are
+// memoized and shared across workers, so a sweep never simulates the same
+// baseline twice. It is the engine every figure in EXPERIMENTS.md runs
+// on; use a Harness directly to run several sweeps against one shared
+// cache.
+func Sweep(axes SweepAxes, opts HarnessOptions) ([]SweepResult, error) {
+	return NewHarness(opts).Sweep(axes)
+}

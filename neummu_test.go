@@ -89,3 +89,32 @@ func TestNewHarnessQuick(t *testing.T) {
 		t.Fatal("no rows")
 	}
 }
+
+func TestSweepFacade(t *testing.T) {
+	rows, err := Sweep(SweepAxes{
+		Kinds:     []MMUKind{CustomMMU},
+		Models:    []string{"CNN-1"},
+		Batches:   []int{1},
+		PTWs:      []int{8, 128},
+		PRMBSlots: []int{32},
+		Paths:     []PathKind{PathTPreg},
+	}, HarnessOptions{RepeatCap: 1, TileCap: 4, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("swept %d points, want 2", len(rows))
+	}
+	if rows[0].Point.PTWs != 8 || rows[1].Point.PTWs != 128 {
+		t.Fatalf("rows out of grid order: %+v", rows)
+	}
+	// More walkers must not hurt: the PTW axis is monotone here.
+	if rows[1].Perf < rows[0].Perf {
+		t.Fatalf("128 PTWs (%v) slower than 8 (%v)", rows[1].Perf, rows[0].Perf)
+	}
+	for _, r := range rows {
+		if r.Result == nil || r.Result.Cycles <= 0 {
+			t.Fatalf("missing simulation result: %+v", r)
+		}
+	}
+}
