@@ -29,6 +29,7 @@ import (
 	"neummu/internal/exp"
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
+	"neummu/internal/profiling"
 	"neummu/internal/spatial"
 	"neummu/internal/systolic"
 	"neummu/internal/tlb"
@@ -55,8 +56,23 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
 		parallel  = flag.Bool("parallel", false, "sweep mode: fan cells out over all CPUs (the default; kept for explicitness)")
 		workers   = flag.Int("workers", 0, "sweep mode: exact worker count (0 = all CPUs, 1 = serial reference)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (hot-path diagnosis)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile, "neusim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neusim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+	fail := func(err error) {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, "neusim:", err)
+		os.Exit(1)
+	}
 
 	models := strings.Split(*model, ",")
 	for i := range models {
@@ -69,15 +85,13 @@ func main() {
 			// 1 is the serial reference run. -parallel is an explicit alias
 			// for -workers 0, so combining it with a bound is contradictory.
 			if *parallel && *workers != 0 {
-				fmt.Fprintf(os.Stderr, "neusim: -parallel (all CPUs) conflicts with -workers %d\n", *workers)
-				os.Exit(1)
+				fail(fmt.Errorf("-parallel (all CPUs) conflicts with -workers %d", *workers))
 			}
 			err = runSweep(models, batchList, *mmuKind, *pages, *ptws, *prmb,
 				*tpreg, *tlbSize, *repeatCap, *tileCap, *workers, *useSpat, *compare, *asJSON)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "neusim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -85,15 +99,13 @@ func main() {
 	if *asJSON {
 		if err := runJSON(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
 			*tlbSize, *repeatCap, *tileCap, *useSpat); err != nil {
-			fmt.Fprintln(os.Stderr, "neusim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	if err := run(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
 		*tlbSize, *repeatCap, *tileCap, *useSpat, *compare); err != nil {
-		fmt.Fprintln(os.Stderr, "neusim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 

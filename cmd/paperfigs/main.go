@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"neummu/internal/exp"
+	"neummu/internal/profiling"
 )
 
 var figures = []string{"table1", "fig6", "fig7", "fig8", "fig10", "fig11",
@@ -36,18 +37,28 @@ var figures = []string{"table1", "fig6", "fig7", "fig8", "fig10", "fig11",
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate (or 'all')")
-		quick    = flag.Bool("quick", false, "reduced sweep for smoke testing")
-		parallel = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
-		workers  = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
+		fig        = flag.String("fig", "all", "figure to regenerate (or 'all')")
+		quick      = flag.Bool("quick", false, "reduced sweep for smoke testing")
+		parallel   = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
+		workers    = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (hot-path diagnosis)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile, "paperfigs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	// Workers follows exp.Options semantics: 0 selects GOMAXPROCS, 1 is
 	// the serial reference run that parallel output is validated against.
 	// -parallel is an explicit alias for -workers 0, so combining it with
 	// a bound is contradictory.
 	if *parallel && *workers != 0 {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "paperfigs: -parallel (all CPUs) conflicts with -workers %d\n", *workers)
 		os.Exit(1)
 	}
@@ -59,6 +70,7 @@ func main() {
 	}
 	for _, f := range targets {
 		if err := render(h, strings.TrimSpace(f)); err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", f, err)
 			os.Exit(1)
 		}

@@ -107,10 +107,26 @@ type Stats struct {
 // MMU retries the translation. The page must be mapped by then.
 type FaultHandler func(va vm.VirtAddr, now sim.Cycle, resolve func())
 
+// TranslateFn receives a completed translation along with the caller's
+// tag, so one persistent callback can serve every in-flight request (the
+// DMA engine tags each transaction with its index instead of capturing it
+// in a fresh closure).
+type TranslateFn func(e vm.Entry, tag int64, now sim.Cycle)
+
 type pending struct {
 	va     vm.VirtAddr
+	tag    int64
 	issued sim.Cycle
-	done   func(e vm.Entry, now sim.Cycle)
+	done   TranslateFn
+}
+
+// hitPayload parks a TLB hit between the probe and its latency-delayed
+// delivery. Payloads live in a free-listed pool so the hit path — the
+// most frequent event in every simulation — never allocates.
+type hitPayload struct {
+	p     pending
+	frame vm.PhysAddr
+	dev   int
 }
 
 // MMU is the translation engine.
@@ -121,12 +137,22 @@ type MMU struct {
 	tlb  *tlb.TLB
 	pool *walker.Pool
 
-	stats    Stats
-	blocked  []pending
-	stalled  bool
-	seq      uint64
-	inFly    map[uint64]*pending // walker request seq → pending
-	prefetch map[uint64]struct{} // seqs of speculative walks (no consumer)
+	stats   Stats
+	blocked []pending
+	stalled bool
+	// flight holds the pending request behind each in-flight walker
+	// submission; the slot index travels as walker.Request.Seq, so
+	// completion matching is an array read instead of a map lookup.
+	// Speculative (prefetch) walks occupy a slot with a nil done.
+	flight     []pending
+	freeFlight []int32
+
+	// Pooled event state: hits/misses hold latency-delayed deliveries,
+	// addressed by slot index in the scheduled event's payload.
+	hHit   sim.HandlerID
+	hMiss  sim.HandlerID
+	hits   sim.SlotPool[hitPayload]
+	misses sim.SlotPool[pending]
 
 	// OnUnblocked fires when back-pressure releases; the DMA engine
 	// resumes issuing. OnFault, when set, receives page faults; when nil
@@ -140,14 +166,12 @@ func New(cfg Config, pt *vm.PageTable, q *sim.Queue) *MMU {
 	if cfg.PageSize == 0 {
 		cfg.PageSize = vm.Page4K
 	}
-	m := &MMU{
-		cfg: cfg, q: q, pt: pt,
-		inFly:    make(map[uint64]*pending),
-		prefetch: make(map[uint64]struct{}),
-	}
+	m := &MMU{cfg: cfg, q: q, pt: pt}
 	if cfg.Kind == Oracle {
 		return m
 	}
+	m.hHit = q.Register(sim.HandlerFunc(m.fireHit))
+	m.hMiss = q.Register(sim.HandlerFunc(m.fireMiss))
 	tcfg := cfg.TLB
 	if tcfg.Entries == 0 {
 		tcfg = tlb.Baseline(cfg.PageSize)
@@ -228,7 +252,18 @@ func (m *MMU) Stalled() bool { return m.stalled }
 // physical entry is available. The entry's frame is the page base — the
 // caller applies the page offset. Translate must not be called while
 // Stalled() is true.
+//
+// Each call allocates an adapter closure; per-transaction issuers should
+// use TranslateTag with one persistent TranslateFn instead.
 func (m *MMU) Translate(va vm.VirtAddr, done func(e vm.Entry, now sim.Cycle)) {
+	m.TranslateTag(va, 0, func(e vm.Entry, _ int64, now sim.Cycle) { done(e, now) })
+}
+
+// TranslateTag is the allocation-free translation entry point: done is
+// invoked with the caller's tag, so a single long-lived callback serves
+// any number of concurrent requests. TranslateTag must not be called
+// while Stalled() is true.
+func (m *MMU) TranslateTag(va vm.VirtAddr, tag int64, done TranslateFn) {
 	if m.stalled {
 		panic("core: Translate called while stalled")
 	}
@@ -239,42 +274,75 @@ func (m *MMU) Translate(va vm.VirtAddr, done func(e vm.Entry, now sim.Cycle)) {
 		m.stats.Latency.Add(0)
 		e, _, err := m.pt.Walk(va)
 		if err != nil {
-			m.fault(pending{va: va, issued: now, done: done}, now)
+			m.fault(pending{va: va, tag: tag, issued: now, done: done}, now)
 			return
 		}
-		done(e, now)
+		done(e, tag, now)
 		return
 	}
-	p := pending{va: va, issued: now, done: done}
-	m.lookup(p)
+	m.lookup(pending{va: va, tag: tag, issued: now, done: done})
 }
 
 func (m *MMU) lookup(p pending) {
 	frame, dev, hit := m.tlb.Lookup(p.va)
+	lat := sim.Cycle(m.tlb.HitLatency())
 	if hit {
 		m.stats.TLBHits++
-		lat := m.tlb.HitLatency()
-		m.q.After(sim.Cycle(lat), func(now sim.Cycle) {
-			m.stats.Latency.Add(float64(now - p.issued))
-			p.done(vm.Entry{Frame: frame, Size: m.cfg.PageSize, Device: dev}, now)
-		})
+		m.q.CallAfter(lat, m.hHit, int64(m.hits.Put(hitPayload{p: p, frame: frame, dev: dev})))
 		return
 	}
 	m.stats.TLBMisses++
 	// The miss is detected after the TLB probe; route to the walker pool
 	// after the probe latency.
-	m.q.After(sim.Cycle(m.tlb.HitLatency()), func(now sim.Cycle) {
-		m.submit(p)
-	})
+	m.q.CallAfter(lat, m.hMiss, int64(m.misses.Put(p)))
+}
+
+func (m *MMU) fireHit(now sim.Cycle, arg int64) {
+	hp := m.hits.Take(int32(arg))
+	m.stats.Latency.Add(float64(now - hp.p.issued))
+	hp.p.done(vm.Entry{Frame: hp.frame, Size: m.cfg.PageSize, Device: hp.dev}, hp.p.tag, now)
+}
+
+func (m *MMU) fireMiss(now sim.Cycle, arg int64) {
+	m.submit(m.misses.Take(int32(arg)))
+}
+
+// allocFlight parks p in a free slot and returns the slot index used as
+// the walker request's Seq. Unlike the hit/miss sim.SlotPools, the flight
+// pool is hand-rolled because freed slots carry a tombstone (see
+// releaseFlight) that a generic Take would erase.
+func (m *MMU) allocFlight(p pending) uint64 {
+	var slot int32
+	if n := len(m.freeFlight); n > 0 {
+		slot = m.freeFlight[n-1]
+		m.freeFlight = m.freeFlight[:n-1]
+		m.flight[slot] = p
+	} else {
+		slot = int32(len(m.flight))
+		m.flight = append(m.flight, p)
+	}
+	return uint64(slot)
+}
+
+// releaseFlight frees a slot and returns its pending. A freed slot keeps
+// issued = -1 as a tombstone so a duplicate delivery from the walker pool
+// (a mis-wired model) panics deterministically instead of silently
+// corrupting an unrelated request, preserving the sanity check the old
+// seq→pending map gave for free.
+func (m *MMU) releaseFlight(seq uint64) pending {
+	p := m.flight[seq]
+	if p.issued < 0 {
+		panic(fmt.Sprintf("core: duplicate walker delivery for freed request slot %d", seq))
+	}
+	m.flight[seq] = pending{issued: -1}
+	m.freeFlight = append(m.freeFlight, int32(seq))
+	return p
 }
 
 func (m *MMU) submit(p pending) {
-	m.seq++
-	req := walker.Request{VA: p.va, Seq: m.seq}
-	stored := p
-	m.inFly[m.seq] = &stored
-	if !m.pool.Submit(req) {
-		delete(m.inFly, m.seq)
+	seq := m.allocFlight(p)
+	if !m.pool.Submit(walker.Request{VA: p.va, Seq: seq}) {
+		m.releaseFlight(seq)
 		if !m.stalled {
 			m.stalled = true
 			m.stats.StallEnter++
@@ -292,42 +360,32 @@ func (m *MMU) prefetchNext(va vm.VirtAddr) {
 	if m.tlb.Contains(next) || m.pool.FreeWalkers() == 0 {
 		return
 	}
-	m.seq++
-	seq := m.seq
-	m.prefetch[seq] = struct{}{}
+	// A speculative walk occupies a flight slot with no consumer (nil
+	// done); completion and faults alike just release it.
+	seq := m.allocFlight(pending{va: next})
 	if !m.pool.Submit(walker.Request{VA: next, Seq: seq}) {
-		delete(m.prefetch, seq)
+		m.releaseFlight(seq)
 		return
 	}
 	m.stats.Prefetches++
 }
 
 func (m *MMU) walkComplete(req walker.Request, e vm.Entry, now sim.Cycle) {
-	if _, speculative := m.prefetch[req.Seq]; speculative {
-		// The TLB fill in OnWalkDone was the entire point.
-		delete(m.prefetch, req.Seq)
+	p := m.releaseFlight(req.Seq)
+	if p.done == nil {
+		// Speculative walk: the TLB fill in OnWalkDone was the point.
 		return
 	}
-	p := m.inFly[req.Seq]
-	delete(m.inFly, req.Seq)
-	if p == nil {
-		panic(fmt.Sprintf("core: completion for unknown request seq %d", req.Seq))
-	}
 	m.stats.Latency.Add(float64(now - p.issued))
-	p.done(e, now)
+	p.done(e, p.tag, now)
 }
 
 func (m *MMU) walkFault(req walker.Request, now sim.Cycle) {
-	if _, speculative := m.prefetch[req.Seq]; speculative {
-		delete(m.prefetch, req.Seq)
+	p := m.releaseFlight(req.Seq)
+	if p.done == nil {
 		return
 	}
-	p := m.inFly[req.Seq]
-	delete(m.inFly, req.Seq)
-	if p == nil {
-		panic(fmt.Sprintf("core: fault for unknown request seq %d", req.Seq))
-	}
-	m.fault(*p, now)
+	m.fault(p, now)
 }
 
 func (m *MMU) fault(p pending, now sim.Cycle) {
@@ -343,7 +401,7 @@ func (m *MMU) fault(p pending, now sim.Cycle) {
 				panic(fmt.Sprintf("core: fault handler did not map VA %#x", p.va))
 			}
 			m.stats.Latency.Add(float64(m.q.Now() - p.issued))
-			p.done(e, m.q.Now())
+			p.done(e, p.tag, m.q.Now())
 			return
 		}
 		// Retried requests bypass the stall check: they re-enter via the
@@ -357,11 +415,9 @@ func (m *MMU) capacityFreed(now sim.Cycle) {
 	// order; release back-pressure when empty.
 	for len(m.blocked) > 0 {
 		p := m.blocked[0]
-		m.seq++
-		stored := p
-		m.inFly[m.seq] = &stored
-		if !m.pool.Submit(walker.Request{VA: p.va, Seq: m.seq}) {
-			delete(m.inFly, m.seq)
+		seq := m.allocFlight(p)
+		if !m.pool.Submit(walker.Request{VA: p.va, Seq: seq}) {
+			m.releaseFlight(seq)
 			return
 		}
 		copy(m.blocked, m.blocked[1:])

@@ -1,0 +1,35 @@
+package dma
+
+import (
+	"testing"
+
+	"neummu/internal/tensor"
+	"neummu/internal/vm"
+)
+
+// Splitting a tile into transactions happens once per tile fetch; with a
+// reused buffer it must be allocation-free in steady state (the public
+// SplitSegments convenience wrapper still allocates a fresh slice). The
+// budget runs in CI under -race.
+func TestAppendTransactionsSteadyStateAllocFree(t *testing.T) {
+	segs := []tensor.Segment{
+		{VA: 0x1000_0000, Bytes: 64 << 10},
+		{VA: 0x1800_0100, Bytes: 32 << 10},
+		{VA: 0x2000_0fff, Bytes: 5000},
+	}
+	// Warm: grow the buffer to the tile's working size.
+	buf := AppendTransactions(nil, segs, vm.Page4K, 0)
+	want := len(buf)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendTransactions(buf[:0], segs, vm.Page4K, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTransactions reuse allocates %v objects per op, want 0", allocs)
+	}
+	if len(buf) != want {
+		t.Fatalf("reused split produced %d transactions, want %d", len(buf), want)
+	}
+	if diff := len(SplitSegments(segs, vm.Page4K, 0)); diff != want {
+		t.Fatalf("SplitSegments produced %d transactions, want %d", diff, want)
+	}
+}

@@ -8,6 +8,12 @@
 // are multi-megabyte multi-dimensional tensors, so a single tile fetch
 // explodes into thousands of per-page transactions whose translations
 // arrive at the MMU as a dense burst (§III-C, Figs 6 and 7).
+//
+// The engine is allocation-free in steady state: the per-tile transaction
+// and segment buffers are reused across fetches, the active tile's state
+// lives in the engine (only one tile fetch is in flight at a time), and
+// issue/translate/complete all run on registered sim handlers instead of
+// per-transaction closures.
 package dma
 
 import (
@@ -37,10 +43,16 @@ const DefaultBurst = 1024
 // (burst ≤ 0 selects DefaultBurst). Every resulting piece requires exactly
 // one address translation.
 func SplitSegments(segs []tensor.Segment, ps vm.PageSize, burst int64) []Transaction {
+	return AppendTransactions(nil, segs, ps, burst)
+}
+
+// AppendTransactions is the buffer-reusing form of SplitSegments: it
+// appends the transactions to dst and returns the extended slice, so a
+// caller fetching tiles in a loop pays no per-tile slice growth.
+func AppendTransactions(dst []Transaction, segs []tensor.Segment, ps vm.PageSize, burst int64) []Transaction {
 	if burst <= 0 {
 		burst = DefaultBurst
 	}
-	var txns []Transaction
 	for _, s := range segs {
 		va := s.VA
 		remaining := s.Bytes
@@ -53,12 +65,12 @@ func SplitSegments(segs []tensor.Segment, ps vm.PageSize, burst int64) []Transac
 			if n > burst {
 				n = burst
 			}
-			txns = append(txns, Transaction{VA: va, Bytes: n})
+			dst = append(dst, Transaction{VA: va, Bytes: n})
 			va += vm.VirtAddr(n)
 			remaining -= n
 		}
 	}
-	return txns
+	return dst
 }
 
 // TileStats summarizes one tile fetch (the per-tile rows behind Figs 6/7).
@@ -72,6 +84,18 @@ type TileStats struct {
 
 // Duration returns the tile's memory-phase length.
 func (ts TileStats) Duration() sim.Cycle { return ts.End - ts.Start }
+
+// tile is the active fetch's state. The DMA serializes tile fetches
+// (§II-A), so one embedded instance, reset per fetch, replaces the
+// per-tile closure web the engine used to allocate.
+type tile struct {
+	txns       []Transaction
+	ts         TileStats
+	remaining  int
+	next       int
+	stallStart sim.Cycle
+	done       func(TileStats)
+}
 
 // Engine is the DMA unit. One Engine serves one NPU.
 type Engine struct {
@@ -94,19 +118,31 @@ type Engine struct {
 	pageDivergence stats.Dist // distinct pages per tile (Fig 6)
 	tiles          int
 	totalTxns      int64
-	onUnblock      func(now sim.Cycle) // active tile's resume hook
+
+	cur    tile
+	active bool
+
+	// Reused scratch: transaction/segment buffers and the distinct-page
+	// set survive across tiles, and translated is the one persistent
+	// TranslateFn serving every transaction (tagged with its index).
+	txnBuf     []Transaction
+	segBuf     []tensor.Segment
+	pageSet    map[uint64]struct{}
+	translated core.TranslateFn
+	hIssue     sim.HandlerID
+	hComplete  sim.HandlerID
 }
 
-// New builds a DMA engine over the given MMU and memory system. The engine
-// installs itself as the MMU's back-pressure listener; only one tile fetch
-// may be in flight at a time (the DMA serializes tile fetches, §II-A).
+// New builds a DMA engine over the given MMU and memory system, all
+// scheduling on the same queue q. The engine installs itself as the MMU's
+// back-pressure listener; only one tile fetch may be in flight at a time
+// (the DMA serializes tile fetches, §II-A).
 func New(q *sim.Queue, mmu *core.MMU, mem *memsys.Memory) *Engine {
-	e := &Engine{q: q, mmu: mmu, mem: mem}
-	mmu.OnUnblocked = func(now sim.Cycle) {
-		if e.onUnblock != nil {
-			e.onUnblock(now)
-		}
-	}
+	e := &Engine{q: q, mmu: mmu, mem: mem, pageSet: make(map[uint64]struct{})}
+	e.translated = e.translateDone
+	e.hIssue = q.Register(sim.HandlerFunc(e.fireIssue))
+	e.hComplete = q.Register(sim.HandlerFunc(e.fireComplete))
+	mmu.OnUnblocked = e.unblocked
 	return e
 }
 
@@ -124,10 +160,11 @@ func (e *Engine) Transactions() int64 { return e.totalTxns }
 // segments are page-split, translated, and read. done fires with the
 // tile's statistics when the last byte arrives.
 func (e *Engine) FetchViews(views []tensor.View, done func(TileStats)) {
-	var segs []tensor.Segment
+	segs := e.segBuf[:0]
 	for _, v := range views {
-		segs = append(segs, v.Segments()...)
+		segs = v.AppendSegments(segs)
 	}
+	e.segBuf = segs
 	e.FetchSegments(segs, done)
 }
 
@@ -135,7 +172,8 @@ func (e *Engine) FetchViews(views []tensor.View, done func(TileStats)) {
 // gather path, whose accesses do not come from rectangular views).
 func (e *Engine) FetchSegments(segs []tensor.Segment, done func(TileStats)) {
 	ps := e.mmu.Config().PageSize
-	txns := SplitSegments(segs, ps, e.Burst)
+	txns := AppendTransactions(e.txnBuf[:0], segs, ps, e.Burst)
+	e.txnBuf = txns
 	e.fetch(txns, ps, done)
 }
 
@@ -144,12 +182,12 @@ func (e *Engine) fetch(txns []Transaction, ps vm.PageSize, done func(TileStats))
 		Transactions: len(txns),
 		Start:        e.q.Now(),
 	}
-	pages := map[uint64]struct{}{}
+	clear(e.pageSet)
 	for _, t := range txns {
 		ts.Bytes += t.Bytes
-		pages[vm.PageNumber(t.VA, ps)] = struct{}{}
+		e.pageSet[vm.PageNumber(t.VA, ps)] = struct{}{}
 	}
-	ts.DistinctPages = len(pages)
+	ts.DistinctPages = len(e.pageSet)
 	e.tiles++
 	e.totalTxns += int64(len(txns))
 	e.pageDivergence.Add(float64(ts.DistinctPages))
@@ -159,57 +197,91 @@ func (e *Engine) fetch(txns []Transaction, ps vm.PageSize, done func(TileStats))
 		return
 	}
 
-	remaining := len(txns)
-	next := 0
-	var stallStart sim.Cycle = -1
+	e.cur = tile{
+		txns:       txns,
+		ts:         ts,
+		remaining:  len(txns),
+		stallStart: -1,
+		done:       done,
+	}
+	e.active = true
+	e.q.CallAfter(0, e.hIssue, 0)
+}
 
-	complete := func(now sim.Cycle) {
-		remaining--
-		if remaining == 0 {
-			ts.End = now
-			e.onUnblock = nil
-			done(ts)
-		}
+// fireComplete retires one transaction's data arrival; the last one ends
+// the tile's memory phase.
+func (e *Engine) fireComplete(now sim.Cycle, _ int64) {
+	c := &e.cur
+	c.remaining--
+	if c.remaining == 0 {
+		c.ts.End = now
+		e.active = false
+		done := c.done
+		c.done = nil
+		done(c.ts)
 	}
+}
 
-	var issue func(now sim.Cycle)
-	issue = func(now sim.Cycle) {
-		if next >= len(txns) {
-			return
-		}
-		if e.mmu.Stalled() {
-			// Resume via the engine's unblock hook; account the stall.
-			stallStart = now
-			return
-		}
-		t := txns[next]
-		next++
-		if e.Timeline != nil {
-			e.Timeline.Record(int64(now), 1)
-		}
-		if e.VATrace != nil {
-			e.VATrace(t.VA, now)
-		}
-		e.mmu.Translate(t.VA, func(entry vm.Entry, at sim.Cycle) {
-			pa := entry.Frame + vm.PhysAddr(vm.PageOffset(t.VA, entry.Size))
-			mem := e.mem
-			if e.Router != nil {
-				if m := e.Router(entry.Device); m != nil {
-					mem = m
-				}
-			}
-			mem.Access(pa, t.Bytes, complete)
-		})
-		if next < len(txns) {
-			e.q.After(1, issue) // one translation per cycle (§III-C)
+// fireIssue issues the next transaction's translation — one per cycle
+// (§III-C) — unless the MMU is applying back-pressure, in which case the
+// engine parks until unblocked resumes it.
+func (e *Engine) fireIssue(now sim.Cycle, _ int64) {
+	c := &e.cur
+	if c.next >= len(c.txns) {
+		return
+	}
+	if e.mmu.Stalled() {
+		// Resume via the unblock hook; account the stall.
+		c.stallStart = now
+		return
+	}
+	t := c.txns[c.next]
+	tag := int64(c.next)
+	c.next++
+	if e.Timeline != nil {
+		e.Timeline.Record(int64(now), 1)
+	}
+	if e.VATrace != nil {
+		e.VATrace(t.VA, now)
+	}
+	e.mmu.TranslateTag(t.VA, tag, e.translated)
+	if c.next < len(c.txns) {
+		e.q.CallAfter(1, e.hIssue, 0)
+	}
+}
+
+// translateDone routes one translated transaction into the memory system.
+// It is installed once as e.translated; the tag identifies the
+// transaction, so no per-transaction closure is needed.
+func (e *Engine) translateDone(entry vm.Entry, tag int64, _ sim.Cycle) {
+	t := e.cur.txns[tag]
+	pa := entry.Frame + vm.PhysAddr(vm.PageOffset(t.VA, entry.Size))
+	mem := e.mem
+	if e.Router != nil {
+		if m := e.Router(entry.Device); m != nil {
+			mem = m
 		}
 	}
-	e.onUnblock = func(now sim.Cycle) {
-		if stallStart >= 0 {
-			ts.StallCycles += now - stallStart
-			stallStart = -1
-		}
-		issue(now)
+	mem.AccessCall(pa, t.Bytes, e.hComplete, tag)
+}
+
+// unblocked is the MMU's back-pressure release hook.
+//
+// Known modeling quirk, preserved deliberately: if the MMU stalls and
+// unstalls within one cycle while an hIssue event is already pending,
+// resuming here starts a second issue chain and the engine briefly
+// exceeds one translation per cycle. The pre-refactor closure code
+// behaved identically, and every committed figure is golden-diffed
+// against that behaviour — fixing it means re-baselining all outputs, so
+// it is documented rather than changed in this pass.
+func (e *Engine) unblocked(now sim.Cycle) {
+	if !e.active {
+		return
 	}
-	e.q.After(0, issue)
+	c := &e.cur
+	if c.stallStart >= 0 {
+		c.ts.StallCycles += now - c.stallStart
+		c.stallStart = -1
+	}
+	e.fireIssue(now, 0)
 }

@@ -1,0 +1,47 @@
+package dma
+
+import (
+	"testing"
+
+	"neummu/internal/tensor"
+	"neummu/internal/vm"
+)
+
+// benchSegs is one tile's worth of segments: 64 rows of 32 KB, the shape a
+// 2 MB weight tile splits into.
+func benchSegs() []tensor.Segment {
+	segs := make([]tensor.Segment, 64)
+	for i := range segs {
+		segs[i] = tensor.Segment{VA: vm.VirtAddr(0x1000_0000 + i*40960), Bytes: 32 << 10}
+	}
+	return segs
+}
+
+// BenchmarkSplitSegments measures decomposing one tile into page/burst
+// transactions with a fresh slice per call — the pre-reuse reference
+// point (and still the behaviour of the public convenience function).
+func BenchmarkSplitSegments(b *testing.B) {
+	segs := benchSegs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var txns []Transaction
+	for i := 0; i < b.N; i++ {
+		txns = SplitSegments(segs, vm.Page4K, 0)
+	}
+	_ = txns
+}
+
+// BenchmarkAppendTransactionsReuse measures the same split the way the
+// engine performs it in steady state: appending into a buffer reused
+// across tiles. It must be allocation-free once the buffer has grown to
+// the largest tile's size.
+func BenchmarkAppendTransactionsReuse(b *testing.B) {
+	segs := benchSegs()
+	var buf []Transaction
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTransactions(buf[:0], segs, vm.Page4K, 0)
+	}
+	_ = buf
+}

@@ -38,12 +38,17 @@ func (h *Harness) DataflowStudy() ([]DataflowRow, error) {
 			if err != nil {
 				return DataflowRow{}, err
 			}
+			snap, err := h.translations(model, batch, vm.Page4K)
+			if err != nil {
+				return DataflowRow{}, err
+			}
 			run := func(kind core.Kind) (*npu.Result, error) {
 				cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
 				if kind == core.Oracle {
 					cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
 				}
 				cfg.Compute = cm
+				cfg.Translations = snap
 				return npu.Run(plan, cfg)
 			}
 			oracle, err := run(core.Oracle)

@@ -10,7 +10,6 @@
 package exp
 
 import (
-	"fmt"
 	"sync"
 
 	"neummu/internal/core"
@@ -73,76 +72,112 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// Harness runs simulations with memoized oracle baselines. All methods
-// are safe for concurrent use: plans and oracle runs are computed once
-// under a per-key lock and shared (plans are read-only after building).
-// Every grid-shaped figure, table, and sweep fans out over the harness's
-// worker pool (see Options.Workers), so the caches are shared across
-// workers rather than rebuilt per cell; the inherently sequential studies
-// (the Fig14 trace and the iterative SteadyState/Oversubscription runs)
-// execute inline and ignore the pool.
+// memo is a build-once cache keyed by a comparable struct: the fast path
+// is one mutex acquisition and a map probe (no string formatting, no
+// per-lookup allocation), and concurrent callers needing the same key
+// compute it exactly once without serializing unrelated builds.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoCell[V]
+}
+
+type memoCell[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+func (c *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoCell[V])
+	}
+	cell, ok := c.m[k]
+	if !ok {
+		cell = &memoCell[V]{}
+		c.m[k] = cell
+	}
+	c.mu.Unlock()
+	cell.once.Do(func() { cell.v, cell.err = build() })
+	return cell.v, cell.err
+}
+
+// planKey identifies a memoized workload plan; snapKey adds the page size
+// that fixes its translation snapshot; oracleKey identifies a memoized
+// oracle baseline run. All are comparable structs so cache lookups build
+// no strings.
+type planKey struct {
+	model string
+	batch int
+}
+
+type snapKey struct {
+	model string
+	batch int
+	ps    vm.PageSize
+}
+
+type oracleKey = snapKey
+
+// Harness runs simulations with memoized plans, shared translation
+// snapshots, and memoized oracle baselines. All methods are safe for
+// concurrent use: each cache entry is computed once under a per-key
+// sync.Once and shared (plans and snapshots are read-only after
+// building). Every grid-shaped figure, table, and sweep fans out over the
+// harness's worker pool (see Options.Workers), so the caches are shared
+// across workers rather than rebuilt per cell; the inherently sequential
+// studies (the Fig14 trace and the iterative SteadyState/Oversubscription
+// runs) execute inline and ignore the pool.
+//
+// Snapshot sharing is safe because the dense harness runs never mutate
+// page tables (no fault handler is installed, so a fault is a bug, not a
+// remap); the studies that do remap at runtime — the NUMA demand-paging
+// and migration models in internal/numa — build their own private,
+// unfrozen tables and never see these snapshots.
 type Harness struct {
 	opts Options
 	pool *sim.WorkerPool
 
-	mu     sync.Mutex
-	oracle map[string]*npu.Result
-	plans  map[string]*workloads.Plan
-	locks  map[string]*sync.Mutex // per-key build locks
+	plans  memo[planKey, *workloads.Plan]
+	snaps  memo[snapKey, *vm.Snapshot]
+	oracle memo[oracleKey, *npu.Result]
 }
 
 // New returns a harness with the given options.
 func New(opts Options) *Harness {
 	opts = opts.normalized()
 	return &Harness{
-		opts:   opts,
-		pool:   sim.NewWorkerPool(opts.Workers),
-		oracle: make(map[string]*npu.Result),
-		plans:  make(map[string]*workloads.Plan),
-		locks:  make(map[string]*sync.Mutex),
+		opts: opts,
+		pool: sim.NewWorkerPool(opts.Workers),
 	}
 }
 
 // Options returns the normalized options.
 func (h *Harness) Options() Options { return h.opts }
 
-// keyLock returns the build lock for a cache key, so concurrent callers
-// needing the same plan or oracle run compute it exactly once without
-// serializing unrelated work.
-func (h *Harness) keyLock(key string) *sync.Mutex {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	l, ok := h.locks[key]
-	if !ok {
-		l = &sync.Mutex{}
-		h.locks[key] = l
-	}
-	return l
+func (h *Harness) plan(model string, batch int) (*workloads.Plan, error) {
+	return h.plans.get(planKey{model, batch}, func() (*workloads.Plan, error) {
+		m, err := workloads.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		return workloads.BuildPlan(m, batch, workloads.DefaultTiles())
+	})
 }
 
-func (h *Harness) plan(model string, batch int) (*workloads.Plan, error) {
-	key := fmt.Sprintf("plan/%s/b%d", model, batch)
-	l := h.keyLock(key)
-	l.Lock()
-	defer l.Unlock()
-	h.mu.Lock()
-	p, ok := h.plans[key]
-	h.mu.Unlock()
-	if ok {
-		return p, nil
-	}
-	m, err := workloads.ByName(model)
-	if err != nil {
-		return nil, err
-	}
-	p, err = workloads.BuildPlan(m, batch, workloads.DefaultTiles())
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.plans[key] = p
-	h.mu.Unlock()
-	return p, nil
+// translations returns the shared, frozen page-table snapshot for
+// (model, batch, pageSize), building it on first use from the canonical
+// memoized plan — the plan is fetched here rather than accepted as a
+// parameter so a caller holding a modified plan cannot poison the cache
+// under the canonical key.
+func (h *Harness) translations(model string, batch int, ps vm.PageSize) (*vm.Snapshot, error) {
+	return h.snaps.get(snapKey{model, batch, ps}, func() (*vm.Snapshot, error) {
+		plan, err := h.plan(model, batch)
+		if err != nil {
+			return nil, err
+		}
+		return npu.BuildTranslations(plan, ps), nil
+	})
 }
 
 func (h *Harness) npuConfig(mmu core.Config) npu.Config {
@@ -155,35 +190,31 @@ func (h *Harness) npuConfig(mmu core.Config) npu.Config {
 	}
 }
 
-// Run executes one (model, batch, MMU config) simulation.
+// Run executes one (model, batch, MMU config) simulation on the shared
+// translation snapshot for its (model, batch, pageSize) key.
 func (h *Harness) Run(model string, batch int, mmu core.Config) (*npu.Result, error) {
 	plan, err := h.plan(model, batch)
 	if err != nil {
 		return nil, err
 	}
-	return npu.Run(plan, h.npuConfig(mmu))
+	ps := mmu.PageSize
+	if ps == 0 {
+		ps = vm.Page4K
+	}
+	snap, err := h.translations(model, batch, ps)
+	if err != nil {
+		return nil, err
+	}
+	cfg := h.npuConfig(mmu)
+	cfg.Translations = snap
+	return npu.Run(plan, cfg)
 }
 
 // Oracle returns the memoized oracle run for (model, batch, pageSize).
 func (h *Harness) Oracle(model string, batch int, ps vm.PageSize) (*npu.Result, error) {
-	key := fmt.Sprintf("oracle/%s/b%d/%s", model, batch, ps)
-	l := h.keyLock(key)
-	l.Lock()
-	defer l.Unlock()
-	h.mu.Lock()
-	r, ok := h.oracle[key]
-	h.mu.Unlock()
-	if ok {
-		return r, nil
-	}
-	r, err := h.Run(model, batch, core.Config{Kind: core.Oracle, PageSize: ps})
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.oracle[key] = r
-	h.mu.Unlock()
-	return r, nil
+	return h.oracle.get(oracleKey{model, batch, ps}, func() (*npu.Result, error) {
+		return h.Run(model, batch, core.Config{Kind: core.Oracle, PageSize: ps})
+	})
 }
 
 // NormPerf runs the configuration and returns its performance normalized

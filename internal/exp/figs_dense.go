@@ -55,8 +55,13 @@ func (h *Harness) Fig7() ([]BurstSeries, error) {
 		if err != nil {
 			return BurstSeries{}, err
 		}
+		snap, err := h.translations(model, 1, vm.Page4K)
+		if err != nil {
+			return BurstSeries{}, err
+		}
 		cfg := h.npuConfig(core.Config{Kind: core.Oracle, PageSize: vm.Page4K})
 		cfg.TimelineWindow = 1000
+		cfg.Translations = snap
 		res, err := npu.Run(plan, cfg)
 		if err != nil {
 			return BurstSeries{}, err
@@ -267,6 +272,13 @@ func (h *Harness) Fig14(tiles int) ([]VATraceRow, error) {
 	}
 	cfg := h.npuConfig(core.Config{Kind: core.Oracle, PageSize: vm.Page4K})
 	cfg.TileCap = tiles
+	// The truncated plan shares the canonical plan's address space, so the
+	// cached snapshot's mapping is valid for it.
+	snap, err := h.translations("CNN-1", 1, vm.Page4K)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Translations = snap
 	var rows []VATraceRow
 	seq := int64(0)
 	cfg.TraceVAs = func(va vm.VirtAddr, _ sim.Cycle) {
@@ -363,12 +375,17 @@ func (h *Harness) SpatialNPU() ([]SpatialRow, error) {
 		if err != nil {
 			return SpatialRow{}, err
 		}
+		snap, err := h.translations(model, batch, vm.Page4K)
+		if err != nil {
+			return SpatialRow{}, err
+		}
 		run := func(kind core.Kind) (*npu.Result, error) {
 			cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
 			cfg.Compute = spatial.Baseline()
 			if kind == core.Oracle {
 				cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
 			}
+			cfg.Translations = snap
 			return npu.Run(plan, cfg)
 		}
 		oracle, err := run(core.Oracle)
@@ -426,11 +443,15 @@ func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
 		if err != nil {
 			return SensitivityRow{}, err
 		}
+		// Common-layer plans live outside the snapshot cache, but the
+		// cell's three runs can still share one privately built snapshot.
+		snap := npu.BuildTranslations(plan, vm.Page4K)
 		run := func(kind core.Kind) (*npu.Result, error) {
 			cfg := h.npuConfig(core.ConfigFor(kind, vm.Page4K))
 			if kind == core.Oracle {
 				cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
 			}
+			cfg.Translations = snap
 			return npu.Run(plan, cfg)
 		}
 		oracle, err := run(core.Oracle)

@@ -94,6 +94,23 @@ func (m *Memory) channel(pa vm.PhysAddr) *sim.RateLimiter {
 // invoking done when the last byte arrives. The transfer serializes behind
 // earlier traffic on its channel and then pays the fixed access latency.
 func (m *Memory) Access(pa vm.PhysAddr, bytes int64, done func(now sim.Cycle)) {
+	finish := m.claim(pa, bytes)
+	if done == nil {
+		return
+	}
+	m.q.At(finish, done)
+}
+
+// AccessCall is the zero-allocation variant of Access: completion is
+// delivered to a handler registered on the memory's queue (which must be
+// the same queue the caller registered on), with arg passed through. The
+// DMA engine uses this for its per-transaction completions.
+func (m *Memory) AccessCall(pa vm.PhysAddr, bytes int64, h sim.HandlerID, arg int64) {
+	m.q.Call(m.claim(pa, bytes), h, arg)
+}
+
+// claim books the transfer on its channel and returns the completion time.
+func (m *Memory) claim(pa vm.PhysAddr, bytes int64) sim.Cycle {
 	if bytes <= 0 {
 		bytes = 1
 	}
@@ -104,10 +121,7 @@ func (m *Memory) Access(pa vm.PhysAddr, bytes int64, done func(now sim.Cycle)) {
 	if finish > m.stats.MaxOccupied {
 		m.stats.MaxOccupied = finish
 	}
-	if done == nil {
-		return
-	}
-	m.q.At(finish, done)
+	return finish
 }
 
 // CountWalkRead records a page-table node read. Following the paper, walk

@@ -1,0 +1,54 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the command-line tools, so hot-path regressions are diagnosable with
+// `go tool pprof` without editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpu is non-empty) and arranges a heap
+// snapshot at stop time (when mem is non-empty). The returned stop
+// function is idempotent and must run before the process exits — call it
+// explicitly on os.Exit paths, since those skip defers. Errors while
+// writing the heap profile are reported to stderr under errPrefix.
+func Start(cpu, mem, errPrefix string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+			}
+		}
+	}, nil
+}

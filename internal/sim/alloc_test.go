@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// The simulation core's scheduling contract: once warm, the handler-path
+// schedule/fire cycle performs zero heap allocations, and the closure
+// path allocates nothing for pre-built (non-capturing) Events. These
+// budgets are what keep long simulations out of the garbage collector;
+// they run in CI under -race so the property cannot silently regress.
+
+func TestQueueScheduleCallAllocFree(t *testing.T) {
+	q := &Queue{}
+	fired := 0
+	h := q.Register(HandlerFunc(func(now Cycle, arg int64) { fired++ }))
+	q.Grow(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.CallAfter(1, h, 7)
+		q.CallAfter(2, h, 8)
+		q.Step()
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("handler schedule/fire allocates %v objects per op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("handler never fired")
+	}
+}
+
+func TestQueueScheduleEventAllocFree(t *testing.T) {
+	q := &Queue{}
+	fired := 0
+	fn := Event(func(now Cycle) { fired++ })
+	q.Grow(16)
+	// Warm the closure side table to its steady-state size.
+	q.After(1, fn)
+	q.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.After(1, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("pre-built Event schedule/fire allocates %v objects per op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("event never fired")
+	}
+}

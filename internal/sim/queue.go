@@ -15,6 +15,17 @@
 // harness (internal/exp) runs many independent simulations at once over a
 // WorkerPool, each with its own Queue, which is how sweeps scale across
 // cores without perturbing any individual simulation's event order.
+//
+// # Zero-allocation scheduling
+//
+// The queue offers two scheduling paths. The closure path (At/After) is
+// convenient for setup code, tests, and cold paths, but every capturing
+// closure is a heap object. The handler path (Register + Call/CallAfter)
+// is the hot-path contract: a component registers a Handler once, then
+// schedules (handler ID, payload) pairs. Heap items are scalar-only — no
+// pointers — so the sift operations of push/pop incur no GC write
+// barriers and the steady-state schedule/fire cycle performs zero heap
+// allocations (see BenchmarkQueueScheduleCall).
 package sim
 
 // Cycle is a point in simulated time, measured in NPU clock cycles
@@ -24,10 +35,34 @@ type Cycle int64
 // Event is a callback scheduled to fire at a particular cycle.
 type Event func(now Cycle)
 
+// Handler is the zero-allocation event target: components register one
+// Handler per event kind and dispatch on the scalar payload.
+type Handler interface {
+	Fire(now Cycle, arg int64)
+}
+
+// HandlerFunc adapts a function to the Handler interface. Func values are
+// pointer-shaped, so converting a HandlerFunc to Handler does not allocate
+// (the underlying closure, if capturing, is allocated once at Register
+// time).
+type HandlerFunc func(now Cycle, arg int64)
+
+// Fire implements Handler.
+func (f HandlerFunc) Fire(now Cycle, arg int64) { f(now, arg) }
+
+// HandlerID names a Handler registered on one specific Queue. IDs are not
+// portable across queues.
+type HandlerID int32
+
+// item is one pending event. It holds no pointers: handler events carry
+// (hid >= 0, arg); closure events park the Event in the queue's side table
+// and encode its slot as hid = -(slot+1). Keeping the heap scalar-only is
+// what makes push/pop write-barrier-free.
 type item struct {
 	at  Cycle
 	seq uint64
-	fn  Event
+	arg int64
+	hid int32
 }
 
 // Queue is a deterministic min-heap event queue.
@@ -37,6 +72,9 @@ type Queue struct {
 	heap []item
 	seq  uint64
 	now  Cycle
+
+	handlers []Handler
+	fns      SlotPool[Event]
 }
 
 // Now returns the current simulation time: the cycle of the most recently
@@ -46,14 +84,54 @@ func (q *Queue) Now() Cycle { return q.now }
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// Grow reserves backing capacity for at least n simultaneously pending
+// events, so a simulation whose peak event population is known up front
+// never re-grows the heap mid-run.
+func (q *Queue) Grow(n int) {
+	if cap(q.heap) < n {
+		grown := make([]item, len(q.heap), n)
+		copy(grown, q.heap)
+		q.heap = grown
+	}
+}
+
+// Register installs h on this queue and returns its ID for Call/CallAfter.
+// Registration is a setup-time operation (one append per component); the
+// scheduling fast path never touches the handler table's shape.
+func (q *Queue) Register(h Handler) HandlerID {
+	q.handlers = append(q.handlers, h)
+	return HandlerID(len(q.handlers) - 1)
+}
+
+// Call schedules handler id to fire with arg at absolute cycle at.
+// Scheduling in the past (at < Now) clamps to the current cycle, which
+// keeps composed models safe when a zero-latency hop is computed from
+// stale state. Call performs no heap allocation once the queue's backing
+// array has reached its working size.
+func (q *Queue) Call(at Cycle, id HandlerID, arg int64) {
+	if at < q.now {
+		at = q.now
+	}
+	q.push(item{at: at, seq: q.seq, hid: int32(id), arg: arg})
+	q.seq++
+}
+
+// CallAfter schedules handler id to fire with arg delay cycles from now.
+func (q *Queue) CallAfter(delay Cycle, id HandlerID, arg int64) {
+	q.Call(q.now+delay, id, arg)
+}
+
 // At schedules fn to run at absolute cycle at. Scheduling in the past
-// (at < Now) clamps to the current cycle, which keeps composed models safe
-// when a zero-latency hop is computed from stale state.
+// (at < Now) clamps to the current cycle. The Event is parked in a free
+// slot of the queue's side table (reused across events), so scheduling a
+// pre-built func value does not allocate; a capturing closure costs its
+// own one-time allocation at the call site, which is why hot paths use
+// Register/Call instead.
 func (q *Queue) At(at Cycle, fn Event) {
 	if at < q.now {
 		at = q.now
 	}
-	q.push(item{at: at, seq: q.seq, fn: fn})
+	q.push(item{at: at, seq: q.seq, hid: -(q.fns.Put(fn) + 1)})
 	q.seq++
 }
 
@@ -71,7 +149,12 @@ func (q *Queue) Step() bool {
 	if it.at > q.now {
 		q.now = it.at
 	}
-	it.fn(q.now)
+	if it.hid >= 0 {
+		q.handlers[it.hid].Fire(q.now, it.arg)
+		return true
+	}
+	fn := q.fns.Take(-it.hid - 1)
+	fn(q.now)
 	return true
 }
 
@@ -97,40 +180,58 @@ func (q *Queue) RunUntil(limit Cycle) bool {
 	return true
 }
 
+// The heap is 4-ary with hole-style sifting: half the levels of a binary
+// heap (pop dominated the simulation profile) and one final write instead
+// of a swap per level. Any heap arity pops the same sequence — (at, seq)
+// is a strict total order, so the minimum is unique — which keeps event
+// ordering, and therefore every figure's output, bit-identical.
+const heapArity = 4
+
 func (q *Queue) push(it item) {
 	q.heap = append(q.heap, it)
 	i := len(q.heap) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(q.heap[i], q.heap[parent]) {
+		parent := (i - 1) / heapArity
+		if !less(it, q.heap[parent]) {
 			break
 		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		q.heap[i] = q.heap[parent]
 		i = parent
 	}
+	q.heap[i] = it
 }
 
 func (q *Queue) pop() item {
 	top := q.heap[0]
 	last := len(q.heap) - 1
-	q.heap[0] = q.heap[last]
+	moved := q.heap[last]
 	q.heap = q.heap[:last]
+	if last == 0 {
+		return top
+	}
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && less(q.heap[l], q.heap[smallest]) {
-			smallest = l
-		}
-		if r < last && less(q.heap[r], q.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
+		c := heapArity*i + 1
+		if c >= last {
 			break
 		}
-		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		end := c + heapArity
+		if end > last {
+			end = last
+		}
+		smallest := c
+		for j := c + 1; j < end; j++ {
+			if less(q.heap[j], q.heap[smallest]) {
+				smallest = j
+			}
+		}
+		if !less(q.heap[smallest], moved) {
+			break
+		}
+		q.heap[i] = q.heap[smallest]
 		i = smallest
 	}
+	q.heap[i] = moved
 	return top
 }
 

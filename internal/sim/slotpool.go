@@ -1,0 +1,38 @@
+package sim
+
+// SlotPool is a free-listed value store: Put parks a value and returns its
+// slot index (a scalar that can ride in an event's payload), Take retrieves
+// it and recycles the slot. In steady state neither operation allocates,
+// which is why the latency-delayed payloads of the timing models (TLB
+// hits, routed misses, parked Events) live in SlotPools instead of
+// per-event closures.
+//
+// The zero value is ready to use.
+type SlotPool[T any] struct {
+	slots []T
+	free  []int32
+}
+
+// Put stores v in a free slot and returns the slot's index.
+func (p *SlotPool[T]) Put(v T) int32 {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.slots[s] = v
+		return s
+	}
+	p.slots = append(p.slots, v)
+	return int32(len(p.slots) - 1)
+}
+
+// Take returns slot i's value and frees the slot, zeroing it so pooled
+// pointers don't pin garbage. Taking a slot that is not currently in use
+// returns the zero value (the caller's payload discipline must pair every
+// Put with exactly one Take).
+func (p *SlotPool[T]) Take(i int32) T {
+	v := p.slots[i]
+	var zero T
+	p.slots[i] = zero
+	p.free = append(p.free, i)
+	return v
+}

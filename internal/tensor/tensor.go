@@ -34,6 +34,9 @@ func New(name string, base vm.VirtAddr, elemSize int, dims ...int) Tensor {
 	if len(dims) == 0 {
 		panic("tensor: need at least one dimension")
 	}
+	if len(dims) > 8 {
+		panic("tensor: at most 8 dimensions supported")
+	}
 	for _, d := range dims {
 		if d <= 0 {
 			panic(fmt.Sprintf("tensor %q: non-positive dimension %v", name, dims))
@@ -136,6 +139,13 @@ func (s Segment) End() vm.VirtAddr { return s.VA + vm.VirtAddr(s.Bytes) }
 // a view that covers whole trailing dimensions collapses into fewer,
 // larger segments, exactly as a DMA engine would coalesce its descriptors.
 func (v View) Segments() []Segment {
+	return v.AppendSegments(nil)
+}
+
+// AppendSegments appends the view's segments to dst and returns the
+// extended slice. Callers that fetch tiles in a loop pass a reused buffer
+// so the steady-state projection does not allocate.
+func (v View) AppendSegments(dst []Segment) []Segment {
 	// Find the largest suffix of dimensions that are fully covered; those
 	// collapse into the contiguous inner run.
 	nd := len(v.Ranges)
@@ -152,15 +162,24 @@ func (v View) Segments() []Segment {
 	// inner is the byte length of one contiguous run: dim d's range length
 	// times the fully-covered extent of every dimension below it.
 	if d < 0 {
-		return []Segment{{VA: v.T.Base, Bytes: v.T.Bytes()}}
+		return append(dst, Segment{VA: v.T.Base, Bytes: v.T.Bytes()})
 	}
-	strides := v.T.Strides()
+	var strideBuf [8]int64
+	strides := strideBuf[:nd]
+	acc := int64(1)
+	for i := nd - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= int64(v.T.Dims[i])
+	}
 	runStart := int64(v.Ranges[d].Lo) * strides[d]
 	// One run per coordinate of dimensions 0..d-1. Consecutive runs merge
 	// when exactly adjacent (e.g. when dim d covers its full extent but an
-	// outer dimension is partial).
-	var segs []Segment
-	coord := make([]int, d)
+	// outer dimension is partial). The odometer lives in a fixed-size
+	// array: tensors are at most 8-dimensional in every workload model.
+	segs := dst
+	base := len(dst)
+	var coordBuf [8]int
+	coord := coordBuf[:d]
 	for i := 0; i < d; i++ {
 		coord[i] = v.Ranges[i].Lo
 	}
@@ -170,7 +189,7 @@ func (v View) Segments() []Segment {
 			off += int64(coord[i]) * strides[i]
 		}
 		va := v.T.Base + vm.VirtAddr(off*int64(v.T.ElemSize))
-		if n := len(segs); n > 0 && segs[n-1].End() == va {
+		if n := len(segs); n > base && segs[n-1].End() == va {
 			segs[n-1].Bytes += inner
 		} else {
 			segs = append(segs, Segment{VA: va, Bytes: inner})

@@ -1,0 +1,27 @@
+package tlb
+
+import (
+	"testing"
+
+	"neummu/internal/vm"
+)
+
+// TLB lookups and fills sit on every translation; they must never touch
+// the heap. The budget runs in CI under -race.
+func TestLookupFillAllocFree(t *testing.T) {
+	tl := New(Baseline(vm.Page4K))
+	// Warm: install a working set larger than one set.
+	for i := 0; i < 64; i++ {
+		tl.Fill(vm.VirtAddr(i)<<12, vm.PhysAddr(i)<<12, 0)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		va := vm.VirtAddr(i%128) << 12 // half hits, half misses
+		tl.Lookup(va)
+		tl.Fill(va, vm.PhysAddr(i)<<12, 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup+Fill allocates %v objects per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,22 @@
+package tlb
+
+import (
+	"testing"
+
+	"neummu/internal/vm"
+)
+
+// BenchmarkLookupFill exercises the TLB's hot pair — probe then install —
+// over a working set that spans sets and forces steady-state evictions.
+// Both operations must stay allocation-free.
+func BenchmarkLookupFill(b *testing.B) {
+	tl := New(Baseline(vm.Page4K))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := vm.VirtAddr(i%4096) << 12
+		if _, _, hit := tl.Lookup(va); !hit {
+			tl.Fill(va, vm.PhysAddr(i)<<12, 0)
+		}
+	}
+}

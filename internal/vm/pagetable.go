@@ -20,13 +20,19 @@ type Entry struct {
 	Device int
 }
 
+// Leaf tables store entries by value: one heap object per 512 mappings
+// instead of one per mapped page, and a walk reads the entry straight out
+// of a contiguous array instead of chasing a per-page pointer. Validity is
+// the entry's Size field — zero means unmapped (every installed mapping
+// carries its terminating page size), so a walk touches exactly one cache
+// line per level.
 type l1Table struct {
-	entries [512]*Entry
+	entries [512]Entry
 }
 
 type l2Table struct {
 	next [512]*l1Table
-	huge [512]*Entry // 2 MB mappings terminate here
+	huge [512]Entry // 2 MB mappings terminate here, by value
 }
 
 type l3Table struct {
@@ -38,11 +44,16 @@ type l3Table struct {
 // It is a functional model: it stores mappings and answers walks, and it
 // reports how many node lookups a hardware walk starting from a given
 // cached level would perform. Timing is applied by internal/walker.
+//
+// Leaf levels are value-typed ([512]Entry plus a validity bitmap), so
+// mapping a page allocates only when it opens a fresh table node, and
+// steady-state remaps (the pager's migration path) are allocation-free.
 type PageTable struct {
 	root [512]*l3Table
 
 	mapped4K int
 	mapped2M int
+	frozen   bool
 }
 
 // NewPageTable returns an empty page table.
@@ -50,10 +61,34 @@ func NewPageTable() *PageTable {
 	return &PageTable{}
 }
 
+// Snapshot is an immutable page-table image. Sweep cells whose
+// (model, batch, page size) key matches share one Snapshot instead of
+// rebuilding identical tables per simulation; studies that remap pages at
+// runtime (the NUMA demand-paging and migration models) build private
+// PageTables and never freeze them. Walk and Translate on a frozen table
+// are safe for concurrent use — freezing guarantees no writer exists.
+type Snapshot struct {
+	pt *PageTable
+}
+
+// Freeze seals the table against further Map/Unmap calls and returns the
+// shareable snapshot. Mutating a frozen table panics: the snapshot may be
+// visible to concurrent readers on other worker goroutines.
+func (pt *PageTable) Freeze() *Snapshot {
+	pt.frozen = true
+	return &Snapshot{pt: pt}
+}
+
+// Table returns the underlying (frozen, read-only) page table.
+func (s *Snapshot) Table() *PageTable { return s.pt }
+
 // Map installs a translation for the page containing va. The address is
 // truncated to its page base. Mapping an already-mapped page overwrites
 // the previous entry (as a remap would after migration).
 func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int) {
+	if pt.frozen {
+		panic("vm: Map on a frozen page table (shared translation snapshot)")
+	}
 	idx := Decompose(va)
 	l3 := pt.root[idx.L4]
 	if l3 == nil {
@@ -66,10 +101,10 @@ func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int)
 		l3.next[idx.L3] = l2
 	}
 	if size == Page2M {
-		if l2.huge[idx.L2] == nil {
+		if l2.huge[idx.L2].Size == 0 {
 			pt.mapped2M++
 		}
-		l2.huge[idx.L2] = &Entry{Frame: frame &^ PhysAddr(Page2M.Bytes()-1), Size: Page2M, Device: device}
+		l2.huge[idx.L2] = Entry{Frame: frame &^ PhysAddr(Page2M.Bytes() - 1), Size: Page2M, Device: device}
 		return
 	}
 	l1 := l2.next[idx.L2]
@@ -77,14 +112,17 @@ func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int)
 		l1 = &l1Table{}
 		l2.next[idx.L2] = l1
 	}
-	if l1.entries[idx.L1] == nil {
+	if l1.entries[idx.L1].Size == 0 {
 		pt.mapped4K++
 	}
-	l1.entries[idx.L1] = &Entry{Frame: frame &^ PhysAddr(Page4K.Bytes()-1), Size: Page4K, Device: device}
+	l1.entries[idx.L1] = Entry{Frame: frame &^ PhysAddr(Page4K.Bytes() - 1), Size: Page4K, Device: device}
 }
 
 // Unmap removes the translation for the page containing va, if any.
 func (pt *PageTable) Unmap(va VirtAddr, size PageSize) {
+	if pt.frozen {
+		panic("vm: Unmap on a frozen page table (shared translation snapshot)")
+	}
 	idx := Decompose(va)
 	l3 := pt.root[idx.L4]
 	if l3 == nil {
@@ -95,9 +133,9 @@ func (pt *PageTable) Unmap(va VirtAddr, size PageSize) {
 		return
 	}
 	if size == Page2M {
-		if l2.huge[idx.L2] != nil {
+		if l2.huge[idx.L2].Size != 0 {
 			pt.mapped2M--
-			l2.huge[idx.L2] = nil
+			l2.huge[idx.L2] = Entry{}
 		}
 		return
 	}
@@ -105,9 +143,9 @@ func (pt *PageTable) Unmap(va VirtAddr, size PageSize) {
 	if l1 == nil {
 		return
 	}
-	if l1.entries[idx.L1] != nil {
+	if l1.entries[idx.L1].Size != 0 {
 		pt.mapped4K--
-		l1.entries[idx.L1] = nil
+		l1.entries[idx.L1] = Entry{}
 	}
 }
 
@@ -124,18 +162,18 @@ func (pt *PageTable) Walk(va VirtAddr) (Entry, int, error) {
 	if l2 == nil {
 		return Entry{}, 2, ErrNotMapped
 	}
-	if e := l2.huge[idx.L2]; e != nil {
-		return *e, 3, nil
+	if e := l2.huge[idx.L2]; e.Size != 0 {
+		return e, 3, nil
 	}
 	l1 := l2.next[idx.L2]
 	if l1 == nil {
 		return Entry{}, 3, ErrNotMapped
 	}
 	e := l1.entries[idx.L1]
-	if e == nil {
+	if e.Size == 0 {
 		return Entry{}, 4, ErrNotMapped
 	}
-	return *e, 4, nil
+	return e, 4, nil
 }
 
 // Translate resolves a full virtual address to a physical address.

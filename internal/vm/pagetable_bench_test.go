@@ -1,0 +1,54 @@
+package vm
+
+import "testing"
+
+const benchPages = 4096 // 16 MB at 4 KB pages, one mid-size tile's worth
+
+// BenchmarkPageTableMap measures building a page table for a dense 16 MB
+// region — what every simulation used to pay per run before translation
+// snapshots were shared. allocs/op is the headline: it counts heap objects
+// per 4096-page table build.
+func BenchmarkPageTableMap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt := NewPageTable()
+		for p := 0; p < benchPages; p++ {
+			va := VirtAddr(p) * VirtAddr(Page4K.Bytes())
+			pt.Map(va, PhysAddr(p)<<12, Page4K, 0)
+		}
+	}
+}
+
+// BenchmarkPageTableWalk measures the translation hot path: one Walk per
+// iteration over a resident working set. It must be allocation-free.
+func BenchmarkPageTableWalk(b *testing.B) {
+	pt := NewPageTable()
+	for p := 0; p < benchPages; p++ {
+		va := VirtAddr(p) * VirtAddr(Page4K.Bytes())
+		pt.Map(va, PhysAddr(p)<<12, Page4K, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := VirtAddr(i%benchPages) * VirtAddr(Page4K.Bytes())
+		if _, _, err := pt.Walk(va); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageTableRemap measures overwriting an existing mapping (the
+// pager's migration path): steady-state remaps must not allocate.
+func BenchmarkPageTableRemap(b *testing.B) {
+	pt := NewPageTable()
+	for p := 0; p < benchPages; p++ {
+		va := VirtAddr(p) * VirtAddr(Page4K.Bytes())
+		pt.Map(va, PhysAddr(p)<<12, Page4K, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := VirtAddr(i%benchPages) * VirtAddr(Page4K.Bytes())
+		pt.Map(va, PhysAddr(i)<<12, Page4K, 0)
+	}
+}

@@ -120,6 +120,14 @@ type ptw struct {
 	merged  []Request
 	initial Request
 	path    PathCache // per-PTW TPreg when Config.Path == PathTPreg
+
+	// Drain state: finishWalk parks the walk's outcome and the merged
+	// requests here, and the pool's drain handler delivers them one per
+	// cycle. The two slices swap roles across walks so the steady state
+	// re-uses their backing arrays instead of allocating per walk.
+	draining []Request
+	entry    vm.Entry
+	fault    bool
 }
 
 // Pool is a pool of parallel page-table walkers with optional PTS, PRMB,
@@ -138,6 +146,12 @@ type Pool struct {
 	shared PathCache // TPC/UPTC when configured
 
 	stats Stats
+
+	// Pooled event handlers (sim.Register): walk completion and PRMB
+	// drain are the per-translation hot path, so they schedule by
+	// (handler ID, scalar payload) instead of allocating closures.
+	hFinish sim.HandlerID // arg: walker index
+	hDrain  sim.HandlerID // arg: walker index<<32 | merged index
 
 	// OnComplete fires once per request (initial and merged alike) when
 	// its translation is available. OnFault fires instead when the walk
@@ -168,6 +182,8 @@ func NewPool(cfg Config, pt *vm.PageTable, q *sim.Queue) *Pool {
 		ptws:     make([]ptw, cfg.NumPTWs),
 		inflight: make(map[uint64]int),
 	}
+	p.hFinish = q.Register(sim.HandlerFunc(p.fireFinish))
+	p.hDrain = q.Register(sim.HandlerFunc(p.fireDrain))
 	for i := cfg.NumPTWs - 1; i >= 0; i-- {
 		p.free = append(p.free, i)
 	}
@@ -341,7 +357,21 @@ func (p *Pool) startWalk(req Request, vpn uint64) {
 	p.stats.SkippedLevels += int64(skip)
 
 	latency := sim.Cycle(int64(accesses) * p.cfg.LevelLatency)
-	p.q.After(latency, func(now sim.Cycle) { p.finishWalk(w, now) })
+	p.q.CallAfter(latency, p.hFinish, int64(w))
+}
+
+func (p *Pool) fireFinish(now sim.Cycle, arg int64) { p.finishWalk(int(arg), now) }
+
+// fireDrain delivers one merged request parked by finishWalk. The payload
+// packs (walker index, merged index); the last delivery releases the PTW.
+func (p *Pool) fireDrain(now sim.Cycle, arg int64) {
+	w, i := int(arg>>32), int(arg&0xFFFFFFFF)
+	pw := &p.ptws[w]
+	p.stats.PRMBReads++
+	p.deliver(pw.draining[i], pw.entry, pw.fault, now)
+	if i == len(pw.draining)-1 {
+		p.release(w, now)
+	}
 }
 
 func (p *Pool) finishWalk(w int, now sim.Cycle) {
@@ -373,14 +403,17 @@ func (p *Pool) finishWalk(w int, now sim.Cycle) {
 
 	p.deliver(pw.initial, entry, fault, now)
 
-	merged := pw.merged
-	pw.merged = nil
-	if len(merged) == 0 {
+	// Swap the accumulation buffer into draining position; the previous
+	// drain buffer (fully delivered by now) becomes the next walk's
+	// accumulation buffer, so neither slice re-allocates in steady state.
+	pw.draining, pw.merged = pw.merged, pw.draining[:0]
+	if len(pw.draining) == 0 {
 		p.release(w, now)
 		return
 	}
+	pw.entry, pw.fault = entry, fault
 	if !p.cfg.DrainPerCycle {
-		for _, m := range merged {
+		for _, m := range pw.draining {
 			p.stats.PRMBReads++
 			p.deliver(m, entry, fault, now)
 		}
@@ -388,16 +421,8 @@ func (p *Pool) finishWalk(w int, now sim.Cycle) {
 		return
 	}
 	// Drain merged requests one per cycle (§IV-A), then free the walker.
-	for i, m := range merged {
-		m := m
-		last := i == len(merged)-1
-		p.q.After(sim.Cycle(i+1), func(at sim.Cycle) {
-			p.stats.PRMBReads++
-			p.deliver(m, entry, fault, at)
-			if last {
-				p.release(w, at)
-			}
-		})
+	for i := range pw.draining {
+		p.q.CallAfter(sim.Cycle(i+1), p.hDrain, int64(w)<<32|int64(i))
 	}
 }
 
