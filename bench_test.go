@@ -361,6 +361,48 @@ func BenchmarkOversubscription(b *testing.B) {
 	}
 }
 
+// BenchmarkTFSuite measures NeuMMU's normalized performance on the
+// transformer suite (the first post-paper workload class).
+func BenchmarkTFSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := quick().TFSuite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.NeuMMU
+		}
+		b.ReportMetric(sum/float64(len(rows)), "neummu_perf")
+	}
+}
+
+// BenchmarkKVCacheStudy measures the decoder KV stream's page footprint
+// at the last profiled decode step.
+func BenchmarkKVCacheStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := quick().KVCache()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.Rows[len(s.Rows)-1].KVPages), "kv_pages/step")
+		b.ReportMetric(float64(s.Timeline.Peak()), "peak_xlat/1kcy")
+	}
+}
+
+// BenchmarkSeqSweep measures the baseline IOMMU's normalized performance
+// at the longest benchmarked sequence (translation pressure grows with
+// sequence length).
+func BenchmarkSeqSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := quick().SeqSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].IOMMU, "iommu_perf@max_seq")
+	}
+}
+
 // BenchmarkDataflowStudy measures NeuMMU's minimum normalized performance
 // across all three compute organizations (§VI-B).
 func BenchmarkDataflowStudy(b *testing.B) {

@@ -7,7 +7,12 @@
 //	neusim -model CNN-1 -batch 4 -mmu neummu -pages 4KB
 //	neusim -model RNN-3 -batch 1 -mmu iommu -ptws 8 -prmb 0
 //	neusim -model CNN-3 -batch 8 -mmu custom -ptws 128 -prmb 32 -tpreg
-//	neusim -model CNN-1,RNN-1 -batches 1,4,8 -mmu iommu -parallel
+//	neusim -model TF-2 -batch 1 -mmu iommu -repeat-cap 3
+//	neusim -model CNN-1,RNN-1,TF-1 -batches 1,4,8 -mmu iommu -parallel
+//
+// Workloads cover the paper's dense suite (CNN-1..3, RNN-1..3) and the
+// post-paper transformer family (TF-1 BERT-base encoder, TF-2 GPT-2-style
+// decoder with KV-cache streaming, TF-3 BERT-large at training batch).
 //
 // The -mmu flag selects oracle, iommu, neummu, or custom; custom builds
 // the walker from the -ptws/-prmb/-tpreg/-tlb flags. A comma-separated
@@ -40,7 +45,7 @@ import (
 
 func main() {
 	var (
-		model     = flag.String("model", "CNN-1", "workload(s): CNN-1..3, RNN-1..3 (or alexnet, resnet50, ...); comma-separated list sweeps")
+		model     = flag.String("model", "CNN-1", "workload(s): CNN-1..3, RNN-1..3, TF-1..3 (or alexnet, bert-base, ...); comma-separated list sweeps")
 		batch     = flag.Int("batch", 1, "batch size")
 		batches   = flag.String("batches", "", "comma-separated batch sizes; sweeps the grid (overrides -batch)")
 		mmuKind   = flag.String("mmu", "neummu", "MMU: oracle, iommu, neummu, custom")

@@ -1,4 +1,5 @@
-// Command paperfigs regenerates the paper's tables and figures as text.
+// Command paperfigs regenerates the paper's tables and figures as text,
+// plus the repository's beyond-the-paper studies.
 //
 // Usage:
 //
@@ -6,17 +7,19 @@
 //	paperfigs -workers 1     # same output, the serial reference run
 //	paperfigs -workers 4     # same output, at most 4 simulations at once
 //	paperfigs -fig fig8      # one figure
+//	paperfigs -fig list      # print the figure registry (name + title)
 //	paperfigs -quick         # reduced sweep (seconds, for smoke tests)
 //
 // The grid-shaped figures run on the design-space sweep engine
 // (internal/exp), so -workers changes wall-clock time only: row ordering
 // and values are byte-identical at every worker count. The single-layer
-// trace (fig14) and the iterative demand-paging studies (steady, oversub)
-// are inherently sequential and run inline regardless of -workers.
+// traces (fig14, kvcache) and the iterative demand-paging studies
+// (steady, oversub) are inherently sequential and run inline regardless
+// of -workers.
 //
-// Figures: table1, fig6, fig7, fig8, fig10, fig11, fig12a, fig12b, fig13,
-// fig14, fig15, fig16, summary, tlbsweep, largepage, spatial, sensitivity,
-// pathcache, multitenant, throttle, steady, oversub, dataflow.
+// The figure registry below is the single source of truth for figure
+// names and section titles: `-fig list`, the unknown-figure error, and
+// the EXPERIMENTS.md cross-check in main_test.go all derive from it.
 package main
 
 import (
@@ -30,14 +33,61 @@ import (
 	"neummu/internal/profiling"
 )
 
-var figures = []string{"table1", "fig6", "fig7", "fig8", "fig10", "fig11",
-	"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16", "summary",
-	"tlbsweep", "largepage", "spatial", "sensitivity", "pathcache",
-	"multitenant", "throttle", "steady", "oversub", "dataflow"}
+// figEntry is one renderable figure: its -fig name, the section title
+// printed above its rows, and the renderer.
+type figEntry struct {
+	name  string
+	title string
+	fn    func(h *exp.Harness) error
+}
+
+// figures is the shared figure registry, in rendering order. Every entry
+// must be indexed in EXPERIMENTS.md (TestFigureRegistryIndexed enforces
+// this), so the doc, the -fig validation, and the usage text cannot
+// drift apart.
+var figures = []figEntry{
+	{"table1", "Table I: Baseline NPU configuration", func(*exp.Harness) error { return table1() }},
+	{"fig6", "Figure 6: page divergence per DMA tile (4KB pages)", fig6},
+	{"fig7", "Figure 7: translations requested per 1000-cycle window", fig7},
+	{"fig8", "Figure 8: baseline IOMMU performance normalized to oracle", fig8},
+	{"fig10", "Figure 10: PRMB mergeable-slot sweep (8 PTWs)",
+		func(h *exp.Harness) error { return sweep("slots", h.Fig10) }},
+	{"fig11", "Figure 11: PTW sweep with PRMB(32)",
+		func(h *exp.Harness) error { return sweep("PTWs", h.Fig11) }},
+	{"fig12a", "Figure 12a: PTW sweep without PRMB",
+		func(h *exp.Harness) error { return sweep("PTWs", h.Fig12a) }},
+	{"fig12b", "Figure 12b: energy/performance of [PRMB,PTW] design points", fig12b},
+	{"fig13", "Figure 13: TPreg tag-match rate at L4/L3/L2 indices", fig13},
+	{"fig14", "Figure 14: virtual addresses accessed across consecutive tiles (CNN-1 fc6)", fig14},
+	{"fig15", "Figure 15: recommendation inference latency breakdown (normalized to MMU-less baseline)", fig15},
+	{"fig16", "Figure 16: demand paging, small vs large pages (normalized to oracular MMU)", fig16},
+	{"summary", "Section IV-D summary: NeuMMU vs baseline IOMMU (paper targets in parens)", summary},
+	{"tlbsweep", "Section III-C: TLB capacity sweep on baseline IOMMU", tlbsweep},
+	{"largepage", "Section VI-A: dense workloads with 2MB large pages", largepage},
+	{"spatial", "Section VI-B: spatial-array NPU (DaDianNao/Eyeriss-style)", spatialFig},
+	{"sensitivity", "Section VI-C: large-batch common-layer sensitivity", sensitivity},
+	{"pathcache", "Section IV-C: translation-path cache design space (TPreg vs TPC vs UPTC)", pathcache},
+	{"multitenant", "Extension: IOMMU sharing — walkers consumed by a co-tenant accelerator", multitenant},
+	{"throttle", "Section III-C counterpoint: throttling the DMA issue queue is no fix", throttle},
+	{"steady", "Extension: steady-state demand paging across consecutive batches", steady},
+	{"oversub", "Extension: local-memory oversubscription (warm-batch thrashing)", oversub},
+	{"dataflow", "Section VI-B: dataflow study (weight-stationary / output-stationary / spatial)", dataflow},
+	{"tfsuite", "Beyond the paper: transformer suite, IOMMU vs NeuMMU (normalized to oracle)", tfsuite},
+	{"kvcache", "Beyond the paper: decoder KV-cache stream across decode steps (TF-2, oracle MMU)", kvcache},
+	{"seqsweep", "Beyond the paper: sequence-length sweep, 1-block encoder (128-8K tokens)", seqsweep},
+}
+
+func figureNames() []string {
+	names := make([]string, len(figures))
+	for i, f := range figures {
+		names[i] = f.name
+	}
+	return names
+}
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate (or 'all')")
+		fig        = flag.String("fig", "all", "figure to regenerate ('all', 'list', or comma-separated names)")
 		quick      = flag.Bool("quick", false, "reduced sweep for smoke testing")
 		parallel   = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
 		workers    = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
@@ -45,6 +95,13 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *fig == "list" {
+		for _, f := range figures {
+			fmt.Printf("%-12s %s\n", f.name, f.title)
+		}
+		return
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile, "paperfigs")
 	if err != nil {
@@ -64,7 +121,7 @@ func main() {
 	}
 	w := *workers
 	h := exp.New(exp.Options{Quick: *quick, Workers: w})
-	targets := figures
+	targets := figureNames()
 	if *fig != "all" {
 		targets = strings.Split(*fig, ",")
 	}
@@ -81,60 +138,19 @@ func header(title string) {
 	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
 }
 
+// render looks the figure up in the registry, prints its section header,
+// and runs its renderer. Unknown names report the full valid list.
 func render(h *exp.Harness, fig string) error {
-	switch fig {
-	case "table1":
-		return table1()
-	case "fig6":
-		return fig6(h)
-	case "fig7":
-		return fig7(h)
-	case "fig8":
-		return fig8(h)
-	case "fig10":
-		return sweep(h, "Figure 10: PRMB mergeable-slot sweep (8 PTWs)", "slots", h.Fig10)
-	case "fig11":
-		return sweep(h, "Figure 11: PTW sweep with PRMB(32)", "PTWs", h.Fig11)
-	case "fig12a":
-		return sweep(h, "Figure 12a: PTW sweep without PRMB", "PTWs", h.Fig12a)
-	case "fig12b":
-		return fig12b(h)
-	case "fig13":
-		return fig13(h)
-	case "fig14":
-		return fig14(h)
-	case "fig15":
-		return fig15(h)
-	case "fig16":
-		return fig16(h)
-	case "summary":
-		return summary(h)
-	case "tlbsweep":
-		return tlbsweep(h)
-	case "largepage":
-		return largepage(h)
-	case "spatial":
-		return spatialFig(h)
-	case "sensitivity":
-		return sensitivity(h)
-	case "pathcache":
-		return pathcache(h)
-	case "multitenant":
-		return multitenant(h)
-	case "throttle":
-		return throttle(h)
-	case "steady":
-		return steady(h)
-	case "oversub":
-		return oversub(h)
-	case "dataflow":
-		return dataflow(h)
+	for _, f := range figures {
+		if f.name == fig {
+			header(f.title)
+			return f.fn(h)
+		}
 	}
-	return fmt.Errorf("unknown figure %q (have %s)", fig, strings.Join(figures, ", "))
+	return fmt.Errorf("unknown figure %q (have %s)", fig, strings.Join(figureNames(), ", "))
 }
 
 func table1() error {
-	header("Table I: Baseline NPU configuration")
 	rows := [][2]string{
 		{"Systolic-array dimension", "128 x 128"},
 		{"Operating frequency", "1 GHz"},
@@ -159,7 +175,6 @@ func fig6(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 6: page divergence per DMA tile (4KB pages)")
 	fmt.Printf("  %-8s %-5s %10s %10s\n", "model", "batch", "avg", "max")
 	for _, r := range rows {
 		fmt.Printf("  %-8s b%02d   %10.0f %10.0f\n", r.Model, r.Batch, r.Avg, r.Max)
@@ -172,7 +187,6 @@ func fig7(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 7: translations requested per 1000-cycle window")
 	for _, s := range series {
 		fmt.Printf("  %s (batch 1): peak %d/window, burst fraction %.2f\n",
 			s.Model, s.Series.Peak(), s.Series.BurstFraction(0.9))
@@ -186,7 +200,6 @@ func fig8(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 8: baseline IOMMU performance normalized to oracle")
 	printNormPerf(rows)
 	return nil
 }
@@ -201,12 +214,11 @@ func printNormPerf(rows []exp.NormPerfRow) {
 	fmt.Printf("  %-8s %-5s %10.4f\n", "average", "", sum/float64(len(rows)))
 }
 
-func sweep(h *exp.Harness, title, param string, run func() ([]exp.SweepRow, error)) error {
+func sweep(param string, run func() ([]exp.SweepRow, error)) error {
 	rows, err := run()
 	if err != nil {
 		return err
 	}
-	header(title)
 	// Aggregate per parameter value across the suite.
 	agg := map[int][]float64{}
 	for _, r := range rows {
@@ -240,7 +252,6 @@ func fig12b(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 12b: energy/performance of [PRMB,PTW] design points")
 	fmt.Printf("  %-12s %12s %16s\n", "[M,N]", "perf", "energy (vs nominal)")
 	for _, r := range rows {
 		mark := ""
@@ -257,7 +268,6 @@ func fig13(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 13: TPreg tag-match rate at L4/L3/L2 indices")
 	fmt.Printf("  %-8s %-5s %8s %8s %8s\n", "model", "batch", "L4", "L3", "L2")
 	for _, r := range rows {
 		fmt.Printf("  %-8s b%02d   %7.1f%% %7.1f%% %7.1f%%\n",
@@ -271,7 +281,6 @@ func fig14(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 14: virtual addresses accessed across consecutive tiles (CNN-1 fc6)")
 	if len(rows) == 0 {
 		return fmt.Errorf("empty trace")
 	}
@@ -291,7 +300,6 @@ func fig15(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 15: recommendation inference latency breakdown (normalized to MMU-less baseline)")
 	fmt.Printf("  %-6s %-5s %-12s %8s %8s %8s %8s %8s\n",
 		"model", "batch", "mode", "embed", "gemm", "reduce", "else", "total")
 	for _, r := range rows {
@@ -306,7 +314,6 @@ func fig16(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Figure 16: demand paging, small vs large pages (normalized to oracular MMU)")
 	fmt.Printf("  %-6s %-5s %-6s %-8s %10s\n", "model", "batch", "pages", "mmu", "perf")
 	for _, r := range rows {
 		fmt.Printf("  %-6s b%02d   %-6s %-8s %10.4f\n",
@@ -320,7 +327,6 @@ func summary(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section IV-D summary: NeuMMU vs baseline IOMMU (paper targets in parens)")
 	fmt.Printf("  baseline IOMMU avg normalized perf  %8.4f   (paper: ~0.05)\n", s.IOMMUAvgPerf)
 	fmt.Printf("  NeuMMU avg normalized perf          %8.4f   (paper: 0.9994)\n", s.NeuMMUAvgPerf)
 	fmt.Printf("  NeuMMU performance overhead         %8.4f%%  (paper: 0.06%%)\n", 100*s.NeuMMUOverhead)
@@ -334,7 +340,6 @@ func tlbsweep(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section III-C: TLB capacity sweep on baseline IOMMU")
 	fmt.Printf("  %-10s %12s\n", "entries", "avg perf")
 	for _, r := range rows {
 		fmt.Printf("  %-10d %12.4f\n", r.Entries, r.Perf)
@@ -347,7 +352,6 @@ func largepage(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section VI-A: dense workloads with 2MB large pages")
 	fmt.Printf("  %-8s %-5s %12s %12s %12s\n", "model", "batch", "IOMMU 4KB", "IOMMU 2MB", "NeuMMU 2MB")
 	for _, r := range rows {
 		fmt.Printf("  %-8s b%02d   %12.4f %12.4f %12.4f\n",
@@ -361,7 +365,6 @@ func spatialFig(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section VI-B: spatial-array NPU (DaDianNao/Eyeriss-style)")
 	fmt.Printf("  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
 	for _, r := range rows {
 		fmt.Printf("  %-8s b%02d   %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
@@ -374,7 +377,6 @@ func sensitivity(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section VI-C: large-batch common-layer sensitivity")
 	fmt.Printf("  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
 	for _, r := range rows {
 		fmt.Printf("  %-8s b%03d  %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
@@ -387,7 +389,6 @@ func pathcache(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section IV-C: translation-path cache design space (TPreg vs TPC vs UPTC)")
 	fmt.Printf("  %-8s %8s %8s %8s %14s %10s\n", "kind", "L4", "L3", "L2", "reads/walk", "perf")
 	for _, r := range rows {
 		fmt.Printf("  %-8s %7.1f%% %7.1f%% %7.1f%% %14.2f %10.4f\n",
@@ -401,7 +402,6 @@ func multitenant(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Extension: IOMMU sharing — walkers consumed by a co-tenant accelerator")
 	fmt.Printf("  %-12s %-12s %12s\n", "stolen PTWs", "remaining", "avg perf")
 	for _, r := range rows {
 		fmt.Printf("  %-12d %-12d %12.4f\n", r.StolenPTWs, 128-r.StolenPTWs, r.Perf)
@@ -414,7 +414,6 @@ func throttle(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section III-C counterpoint: throttling the DMA issue queue is no fix")
 	fmt.Printf("  %-12s %12s\n", "queue depth", "avg perf")
 	for _, r := range rows {
 		fmt.Printf("  %-12d %12.4f\n", r.IssueInterval, r.Perf)
@@ -427,7 +426,6 @@ func steady(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Extension: steady-state demand paging across consecutive batches")
 	fmt.Printf("  %-6s %-22s %-5s %14s %10s %12s %8s\n",
 		"model", "mode", "iter", "gather cycles", "faults", "migrated KB", "promos")
 	for _, r := range rows {
@@ -442,7 +440,6 @@ func oversub(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Extension: local-memory oversubscription (warm-batch thrashing)")
 	fmt.Printf("  %-16s %14s %12s %12s\n", "capacity (pages)", "warm gather", "warm faults", "evictions")
 	for _, r := range rows {
 		capStr := "unbounded"
@@ -459,10 +456,62 @@ func dataflow(h *exp.Harness) error {
 	if err != nil {
 		return err
 	}
-	header("Section VI-B: dataflow study (weight-stationary / output-stationary / spatial)")
 	fmt.Printf("  %-20s %-8s %-5s %12s %12s\n", "dataflow", "model", "batch", "IOMMU", "NeuMMU")
 	for _, r := range rows {
 		fmt.Printf("  %-20s %-8s b%02d   %12.4f %12.4f\n", r.Dataflow, r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func tfsuite(h *exp.Harness) error {
+	rows, err := h.TFSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	var sumIO, sumNeu float64
+	for _, r := range rows {
+		fmt.Printf("  %-8s b%02d   %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+		sumIO += r.IOMMU
+		sumNeu += r.NeuMMU
+	}
+	n := float64(len(rows))
+	fmt.Printf("  %-8s %-5s %12.4f %12.4f\n", "average", "", sumIO/n, sumNeu/n)
+	return nil
+}
+
+func kvcache(h *exp.Harness) error {
+	s, err := h.KVCache()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s, first decoder block: %d decode steps over a %d KB KV region\n",
+		s.Model, s.Steps, s.KVBytes>>10)
+	fmt.Printf("  %-5s %-6s %8s %8s %9s %9s\n",
+		"step", "ctx", "txns", "kv txns", "kv pages", "pages")
+	for _, r := range s.Rows {
+		fmt.Printf("  %-5d %-6d %8d %8d %9d %9d\n",
+			r.Step, r.CtxTokens, r.Transactions, r.KVTransactions, r.KVPages, r.TilePages)
+	}
+	first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+	fmt.Printf("  KV stream: %d -> %d pages/step across the run (growth %.2fx)\n",
+		first.KVPages, last.KVPages, float64(last.KVPages)/float64(first.KVPages))
+	fmt.Printf("  translation bursts: peak %d/window, burst fraction %.2f\n",
+		s.Timeline.Peak(), s.Timeline.BurstFraction(0.9))
+	fmt.Printf("  |%s|\n", s.Timeline.Sparkline(72))
+	return nil
+}
+
+func seqsweep(h *exp.Harness) error {
+	rows, err := h.SeqSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-8s %12s %12s %14s %14s\n",
+		"tokens", "IOMMU", "NeuMMU", "pages/tile", "translations")
+	for _, r := range rows {
+		fmt.Printf("  %-8d %12.4f %12.4f %14.1f %14d\n",
+			r.SeqLen, r.IOMMU, r.NeuMMU, r.PageDivergence, r.Translations)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"neummu/internal/exp"
@@ -11,15 +13,49 @@ import (
 func TestRenderEveryFigure(t *testing.T) {
 	h := exp.New(exp.Options{Quick: true})
 	for _, f := range figures {
-		if err := render(h, f); err != nil {
-			t.Fatalf("figure %s: %v", f, err)
+		if err := render(h, f.name); err != nil {
+			t.Fatalf("figure %s: %v", f.name, err)
 		}
 	}
 }
 
+// TestRenderUnknownFigure: an unknown -fig must be rejected with an error
+// that lists every valid figure name (derived from the registry, so the
+// list can never go stale).
 func TestRenderUnknownFigure(t *testing.T) {
 	h := exp.New(exp.Options{Quick: true})
-	if err := render(h, "fig99"); err == nil {
+	err := render(h, "fig99")
+	if err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+	for _, f := range figures {
+		if !strings.Contains(err.Error(), f.name) {
+			t.Errorf("unknown-figure error omits %q: %v", f.name, err)
+		}
+	}
+}
+
+// TestFigureRegistryIndexed: every figure in the registry must be indexed
+// in EXPERIMENTS.md as a `-fig` entry, and the registry must be free of
+// duplicates — the registry is the single source of truth, and this
+// check keeps the document from drifting away from it.
+func TestFigureRegistryIndexed(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	seen := map[string]bool{}
+	for _, f := range figures {
+		if seen[f.name] {
+			t.Errorf("figure %q registered twice", f.name)
+		}
+		seen[f.name] = true
+		if !strings.Contains(text, "`"+f.name+"`") {
+			t.Errorf("figure %q is not indexed in EXPERIMENTS.md", f.name)
+		}
+		if f.title == "" || f.fn == nil {
+			t.Errorf("figure %q has an incomplete registry entry", f.name)
+		}
 	}
 }

@@ -1,11 +1,13 @@
 // Command tracegen dumps address-translation traces from a workload run:
-// the per-window translation burst timeline (Figure 7) and the raw
-// virtual-address stream (Figure 14), as CSV on stdout.
+// the per-window translation burst timeline (Figure 7), the raw
+// virtual-address stream (Figure 14), and the decoder KV-cache stream's
+// per-step profile (the kvcache study), as CSV on stdout.
 //
 // Usage:
 //
 //	tracegen -model CNN-1 -kind bursts  > bursts.csv
 //	tracegen -model CNN-1 -kind vas -tiles 4 > vas.csv
+//	tracegen -model TF-2 -kind kv > kv.csv
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"neummu/internal/core"
+	"neummu/internal/exp"
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
 	"neummu/internal/sim"
@@ -24,9 +27,9 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "CNN-1", "workload (CNN-1..3, RNN-1..3)")
+		model  = flag.String("model", "CNN-1", "workload (CNN-1..3, RNN-1..3, TF-1..3)")
 		batch  = flag.Int("batch", 1, "batch size")
-		kind   = flag.String("kind", "bursts", "trace kind: bursts or vas")
+		kind   = flag.String("kind", "bursts", "trace kind: bursts, vas, or kv")
 		window = flag.Int64("window", 1000, "burst window in cycles")
 		tiles  = flag.Int("tiles", 4, "tile cap for VA traces")
 		layers = flag.Int("layers", 0, "layer cap (0 = all)")
@@ -39,6 +42,9 @@ func main() {
 }
 
 func run(model string, batch int, kind string, window int64, tiles, layers int) error {
+	if kind == "kv" {
+		return runKV(model, batch)
+	}
 	m, err := workloads.ByName(model)
 	if err != nil {
 		return err
@@ -79,7 +85,31 @@ func run(model string, batch int, kind string, window int64, tiles, layers int) 
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown trace kind %q (bursts, vas)", kind)
+		return fmt.Errorf("unknown trace kind %q (bursts, vas, kv)", kind)
+	}
+	return nil
+}
+
+// runKV dumps the decoder KV-cache stream's per-decode-step profile (the
+// kvcache study of internal/exp) as CSV. The study is the batch-1
+// serving profile of TF-2; other flag combinations are rejected rather
+// than silently ignored.
+func runKV(model string, batch int) error {
+	if model != "TF-2" {
+		return fmt.Errorf("kind kv profiles the autoregressive KV stream and currently supports -model TF-2 only (got %q)", model)
+	}
+	if batch != 1 {
+		return fmt.Errorf("kind kv is the batch-1 serving profile (got -batch %d)", batch)
+	}
+	h := exp.New(exp.Options{})
+	study, err := h.KVCache()
+	if err != nil {
+		return err
+	}
+	fmt.Println("step,ctx_tokens,transactions,kv_transactions,kv_pages,pages")
+	for _, r := range study.Rows {
+		fmt.Printf("%d,%d,%d,%d,%d,%d\n",
+			r.Step, r.CtxTokens, r.Transactions, r.KVTransactions, r.KVPages, r.TilePages)
 	}
 	return nil
 }

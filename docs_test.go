@@ -1,0 +1,123 @@
+package neummu
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown documents whose links CI's docs job keeps
+// honest (the acceptance contract behind docs/ARCHITECTURE.md: every
+// internal link must resolve).
+var docFiles = []string{"README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingAnchor reproduces GitHub's heading-to-anchor slugging closely
+// enough for this repository's docs: lowercase, punctuation stripped,
+// spaces to hyphens.
+func headingAnchor(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsIn collects the anchor slugs of every markdown heading in text.
+func anchorsIn(text string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") {
+			anchors[headingAnchor(strings.TrimLeft(line, "# "))] = true
+		}
+	}
+	return anchors
+}
+
+// TestDocsLinksResolve walks every markdown link in the core documents
+// and checks that relative targets exist on disk and that fragment links
+// point at real headings. External (scheme-qualified) links are skipped:
+// CI must not depend on the network.
+func TestDocsLinksResolve(t *testing.T) {
+	contents := map[string]string{}
+	for _, f := range docFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("missing document %s: %v", f, err)
+		}
+		contents[f] = string(data)
+	}
+	for _, f := range docFiles {
+		dir := filepath.Dir(f)
+		for _, m := range mdLink.FindAllStringSubmatch(contents[f], -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := f // self-link: anchor within the same document
+			if path != "" {
+				resolved = filepath.Join(dir, path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q (%v)", f, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			text, ok := contents[filepath.ToSlash(resolved)]
+			if !ok {
+				// Anchor into a file outside the checked set: existence of
+				// the file is all we can verify without loading it.
+				data, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: unreadable anchor target %q", f, target)
+					continue
+				}
+				text = string(data)
+			}
+			if !anchorsIn(text)[frag] {
+				t.Errorf("%s: link %q points at a missing heading anchor", f, target)
+			}
+		}
+	}
+}
+
+// TestDocsCrossLinked: README must link both companion documents, and the
+// architecture doc must exist with its core sections — the docs baseline
+// this repository's PRs are expected to keep current.
+func TestDocsCrossLinked(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EXPERIMENTS.md", "docs/ARCHITECTURE.md"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md does not link %s", want)
+		}
+	}
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{
+		"handlers vs closures",
+		"Freeze, snapshot sharing",
+		"worker model and determinism",
+		"transformer data path",
+	} {
+		if !strings.Contains(string(arch), section) {
+			t.Errorf("docs/ARCHITECTURE.md is missing the %q section", section)
+		}
+	}
+}

@@ -3,6 +3,9 @@ package dma
 import (
 	"testing"
 
+	"neummu/internal/core"
+	"neummu/internal/memsys"
+	"neummu/internal/sim"
 	"neummu/internal/tensor"
 	"neummu/internal/vm"
 )
@@ -31,5 +34,88 @@ func TestAppendTransactionsSteadyStateAllocFree(t *testing.T) {
 	}
 	if diff := len(SplitSegments(segs, vm.Page4K, 0)); diff != want {
 		t.Fatalf("SplitSegments produced %d transactions, want %d", diff, want)
+	}
+}
+
+// TestKVStreamFetchSteadyStateAllocFree drives the whole engine fetch
+// path — segment split, per-cycle issue, oracle translation, memory
+// completion — with KV-cache-decode-shaped tiles (one small query run
+// plus a long multi-page KV prefix) and asserts the steady state stays on
+// the PR-2 zero-allocation budget. The KV tile path is just view-shaped
+// input to the same hot path, and this pins that down.
+func TestKVStreamFetchSteadyStateAllocFree(t *testing.T) {
+	q := &sim.Queue{}
+	pt := vm.NewPageTable()
+	fa := vm.NewFrameAllocator(64<<20, vm.Page4K, 0)
+	for va := vm.VirtAddr(0); va < 32<<20; va += 4096 {
+		pt.Map(va, fa.Alloc(), vm.Page4K, 0)
+	}
+	mmu := core.New(core.ConfigFor(core.Oracle, vm.Page4K), pt, q)
+	mem := memsys.New(memsys.Baseline(), q)
+	eng := New(q, mmu, mem)
+
+	// Decode-step shape: a 3 KB query row plus a 513-row KV prefix
+	// (513 × 6 KB ≈ 3 MB across ~770 pages).
+	kv := tensor.New("attn/KV", 0x10_0000, 4, 1, 576, 1536)
+	qrow := tensor.New("attn/Q", 0x1000, 4, 1, 64, 768)
+	views := []tensor.View{
+		tensor.ViewOf(kv, tensor.Full(1), tensor.Range{Lo: 0, Hi: 513}, tensor.Full(1536)),
+		tensor.ViewOf(qrow, tensor.Full(1), tensor.Range{Lo: 0, Hi: 1}, tensor.Full(768)),
+	}
+	done := func(TileStats) {}
+	fetch := func() {
+		eng.FetchViews(views, done)
+		q.Run()
+	}
+	fetch() // warm: grow txn/seg buffers, page set, and the event heap
+	fetch()
+	allocs := testing.AllocsPerRun(20, fetch)
+	if allocs != 0 {
+		t.Errorf("KV-stream tile fetch allocates %v objects per op, want 0", allocs)
+	}
+}
+
+// TestWatchIsolatesKVStream: with a watch region over the KV range, the
+// tile stats must split watched traffic from the rest of the fetch.
+func TestWatchIsolatesKVStream(t *testing.T) {
+	q := &sim.Queue{}
+	pt := vm.NewPageTable()
+	fa := vm.NewFrameAllocator(16<<20, vm.Page4K, 0)
+	for va := vm.VirtAddr(0); va < 8<<20; va += 4096 {
+		pt.Map(va, fa.Alloc(), vm.Page4K, 0)
+	}
+	mmu := core.New(core.ConfigFor(core.Oracle, vm.Page4K), pt, q)
+	mem := memsys.New(memsys.Baseline(), q)
+	eng := New(q, mmu, mem)
+
+	region := vm.Region{Name: "attn/KV", Base: 0x40_0000, Size: 1 << 20}
+	eng.Watch = &region
+
+	segs := []tensor.Segment{
+		{VA: 0x1000, Bytes: 8 << 10},     // outside the watch
+		{VA: 0x40_0000, Bytes: 64 << 10}, // inside: 64 txns over 16 pages
+	}
+	var got TileStats
+	eng.FetchSegments(segs, func(ts TileStats) { got = ts })
+	q.Run()
+	if got.Transactions != 72 {
+		t.Fatalf("transactions = %d, want 72", got.Transactions)
+	}
+	if got.WatchedTransactions != 64 {
+		t.Fatalf("watched transactions = %d, want 64", got.WatchedTransactions)
+	}
+	if got.WatchedPages != 16 {
+		t.Fatalf("watched pages = %d, want 16", got.WatchedPages)
+	}
+	if got.DistinctPages != 18 {
+		t.Fatalf("distinct pages = %d, want 18", got.DistinctPages)
+	}
+
+	// Clearing the watch restores zeroed watched fields.
+	eng.Watch = nil
+	eng.FetchSegments(segs, func(ts TileStats) { got = ts })
+	q.Run()
+	if got.WatchedTransactions != 0 || got.WatchedPages != 0 {
+		t.Fatalf("watch cleared but stats = %+v", got)
 	}
 }

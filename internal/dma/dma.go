@@ -80,6 +80,12 @@ type TileStats struct {
 	Bytes         int64
 	Start, End    sim.Cycle
 	StallCycles   sim.Cycle // cycles the issue pipeline spent back-pressured
+	// WatchedTransactions/WatchedPages narrow the counts to transactions
+	// falling inside Engine.Watch (zero when no watch region is set) —
+	// the KV-cache studies isolate the KV stream's share of a tile this
+	// way.
+	WatchedTransactions int
+	WatchedPages        int
 }
 
 // Duration returns the tile's memory-phase length.
@@ -114,6 +120,13 @@ type Engine struct {
 	// (Fig 7). VATrace, when non-nil, receives every issued VA (Fig 14).
 	Timeline *stats.TimeSeries
 	VATrace  func(va vm.VirtAddr, now sim.Cycle)
+	// Watch, when non-nil, narrows the Watched* fields of TileStats to
+	// transactions whose VA falls inside this region. The KV-cache
+	// studies point it at a decoder's KV region to separate that stream's
+	// translation profile from the surrounding query/weight traffic. The
+	// watch bookkeeping runs only when set, so the default fetch path
+	// stays on the zero-allocation budget.
+	Watch *vm.Region
 
 	pageDivergence stats.Dist // distinct pages per tile (Fig 6)
 	tiles          int
@@ -128,6 +141,7 @@ type Engine struct {
 	txnBuf     []Transaction
 	segBuf     []tensor.Segment
 	pageSet    map[uint64]struct{}
+	watchSet   map[uint64]struct{} // lazily built; reused across tiles
 	translated core.TranslateFn
 	hIssue     sim.HandlerID
 	hComplete  sim.HandlerID
@@ -188,6 +202,19 @@ func (e *Engine) fetch(txns []Transaction, ps vm.PageSize, done func(TileStats))
 		e.pageSet[vm.PageNumber(t.VA, ps)] = struct{}{}
 	}
 	ts.DistinctPages = len(e.pageSet)
+	if e.Watch != nil {
+		if e.watchSet == nil {
+			e.watchSet = make(map[uint64]struct{})
+		}
+		clear(e.watchSet)
+		for _, t := range txns {
+			if e.Watch.Contains(t.VA) {
+				ts.WatchedTransactions++
+				e.watchSet[vm.PageNumber(t.VA, ps)] = struct{}{}
+			}
+		}
+		ts.WatchedPages = len(e.watchSet)
+	}
 	e.tiles++
 	e.totalTxns += int64(len(txns))
 	e.pageDivergence.Add(float64(ts.DistinctPages))

@@ -7,6 +7,11 @@
 // (which keep the big sweeps tractable, mirroring the paper's own
 // "intractable simulation time" truncations in §II-C and §VI-C) cancel
 // out of all reported ratios.
+//
+// EXPERIMENTS.md indexes every figure (paper reproductions plus the
+// beyond-the-paper transformer studies); docs/ARCHITECTURE.md documents
+// the sweep engine's worker model, snapshot sharing, and determinism
+// guarantee.
 package exp
 
 import (

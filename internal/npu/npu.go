@@ -55,6 +55,14 @@ type Config struct {
 	TimelineWindow int64
 	// TraceVAs, when non-nil, receives every translated VA (Fig 14).
 	TraceVAs func(va vm.VirtAddr, now sim.Cycle)
+	// Watch narrows per-tile watched statistics to one VA region (see
+	// dma.Engine.Watch); the KV-cache studies point it at a decoder's KV
+	// region.
+	Watch *vm.Region
+	// TileTrace, when non-nil, receives each retiring tile's layer name,
+	// decode step (workloads.Tile.Step; 0 outside autoregressive
+	// attention) and fetch statistics, in schedule order.
+	TileTrace func(layer string, step int, ts dma.TileStats)
 	// Translations, when non-nil, supplies the pre-built, frozen page
 	// tables for the plan at this page size (see BuildTranslations). The
 	// mapping for a (plan, page size) pair is deterministic and read-only
@@ -156,6 +164,7 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 		eng.Timeline = stats.NewTimeSeries(cfg.TimelineWindow)
 	}
 	eng.VATrace = cfg.TraceVAs
+	eng.Watch = cfg.Watch
 
 	res := &Result{
 		Model:   plan.Model,
@@ -190,7 +199,7 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 	computeDone := make([]sim.Cycle, 0, totalTiles)
 	tileIndex := 0
 
-	runTile := func(t workloads.Tile) error {
+	runTile := func(layerName string, t workloads.Tile) error {
 		// Buffer dependency: wait for tile (index-2)'s compute phase.
 		if tileIndex >= 2 {
 			if ready := computeDone[tileIndex-2]; ready > q.Now() {
@@ -209,6 +218,9 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 		res.StallCycles += ts.StallCycles
 		res.Translations += int64(ts.Transactions)
 		res.BytesFetched += ts.Bytes
+		if cfg.TileTrace != nil {
+			cfg.TileTrace(layerName, t.Step, ts)
+		}
 
 		cc := sim.Cycle(cfg.Compute.TileCycles(t.M, t.K, t.N))
 		res.ComputeCycles += cc
@@ -232,7 +244,7 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 		}
 		for rep := 0; rep < times; rep++ {
 			for _, t := range tiles {
-				if err := runTile(t); err != nil {
+				if err := runTile(layer.Name, t); err != nil {
 					return nil, err
 				}
 			}

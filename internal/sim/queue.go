@@ -26,6 +26,10 @@
 // pointers — so the sift operations of push/pop incur no GC write
 // barriers and the steady-state schedule/fire cycle performs zero heap
 // allocations (see BenchmarkQueueScheduleCall).
+//
+// docs/ARCHITECTURE.md describes how this queue composes with the rest
+// of the simulator: the handler-vs-closure contract, the worker model,
+// and the determinism guarantee the sweep engine builds on top.
 package sim
 
 // Cycle is a point in simulated time, measured in NPU clock cycles

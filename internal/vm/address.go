@@ -8,6 +8,10 @@
 // and whose upper 36 bits split into four 9-bit indices selecting entries
 // at the L4 (root), L3, L2, and L1 levels of the radix tree. Large (2 MB)
 // pages terminate the walk at L2, consuming the low 21 bits as offset.
+//
+// docs/ARCHITECTURE.md covers the cross-cutting contracts: value-typed
+// leaf tables, the Freeze()/Snapshot read-only sharing rules, and which
+// studies get private mutable tables instead.
 package vm
 
 import "fmt"

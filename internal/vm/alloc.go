@@ -54,6 +54,17 @@ func (s *Space) Alloc(name string, size uint64) Region {
 // Regions returns all allocated regions in allocation order.
 func (s *Space) Regions() []Region { return s.regions }
 
+// Named returns the region allocated under name, if any (the KV-cache
+// studies look up a layer's "/KV" region to watch its traffic).
+func (s *Space) Named(name string) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
 // Find returns the region containing va, if any.
 func (s *Space) Find(va VirtAddr) (Region, bool) {
 	for _, r := range s.regions {

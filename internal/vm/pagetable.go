@@ -104,7 +104,7 @@ func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int)
 		if l2.huge[idx.L2].Size == 0 {
 			pt.mapped2M++
 		}
-		l2.huge[idx.L2] = Entry{Frame: frame &^ PhysAddr(Page2M.Bytes() - 1), Size: Page2M, Device: device}
+		l2.huge[idx.L2] = Entry{Frame: frame &^ PhysAddr(Page2M.Bytes()-1), Size: Page2M, Device: device}
 		return
 	}
 	l1 := l2.next[idx.L2]
@@ -115,7 +115,7 @@ func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, size PageSize, device int)
 	if l1.entries[idx.L1].Size == 0 {
 		pt.mapped4K++
 	}
-	l1.entries[idx.L1] = Entry{Frame: frame &^ PhysAddr(Page4K.Bytes() - 1), Size: Page4K, Device: device}
+	l1.entries[idx.L1] = Entry{Frame: frame &^ PhysAddr(Page4K.Bytes()-1), Size: Page4K, Device: device}
 }
 
 // Unmap removes the translation for the page containing va, if any.

@@ -1,0 +1,56 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"neummu/internal/workloads"
+)
+
+// Models are looked up by paper alias (CNN-1..3, RNN-1..3, TF-1..3) or by
+// model name; both resolve to the same shape tables.
+func ExampleByName() {
+	m, _ := workloads.ByName("TF-1")
+	fmt.Printf("%s: %d layers, %d parameters\n", m.Name, len(m.Layers), workloads.ParamCount(m))
+	alias, _ := workloads.ByName("bert-base")
+	fmt.Println("same model:", alias.Name == m.Name)
+	// Output:
+	// TF-1: 7 layers, 84971520 parameters
+	// same model: true
+}
+
+// BuildPlan lowers a model onto tile schedules and a virtual address
+// space; every region an experiment will touch is allocated up front.
+func ExampleBuildPlan() {
+	m, _ := workloads.ByName("RNN-2")
+	plan, _ := workloads.BuildPlan(m, 1, workloads.DefaultTiles())
+	fmt.Printf("%s at batch %d: %d tiles, %.1f MB of DMA traffic\n",
+		plan.Model, plan.Batch, plan.TotalTiles(), float64(plan.TotalBytes())/(1<<20))
+	// Output:
+	// RNN-2 at batch 1: 50 tiles, 200.1 MB of DMA traffic
+}
+
+// The decoder's attention layers own dedicated KV-cache regions — the
+// virtual ranges whose growing-prefix streaming the kvcache study
+// profiles (look them up with Space.Named).
+func ExampleTransformerDecoder() {
+	m := workloads.TransformerDecoder("toy", 2, 768, 12, 3072, 128, 8)
+	plan, _ := workloads.BuildPlan(m, 1, workloads.DefaultTiles())
+	for _, name := range []string{"b00/attn/KV", "b01/attn/KV"} {
+		r, ok := plan.Space.Named(name)
+		fmt.Printf("%s: %v, %d KB\n", name, ok, r.Size>>10)
+	}
+	// Output:
+	// b00/attn/KV: true, 816 KB
+	// b01/attn/KV: true, 816 KB
+}
+
+// MACCount is the standard single-sample workload-size metric; for
+// decode-mode attention it sums the growing per-step context.
+func ExampleMACCount() {
+	enc := workloads.Model{Name: "enc", Layers: []workloads.LayerSpec{
+		{Name: "attn", Kind: workloads.Attention, SeqLen: 256, DModel: 512},
+	}}
+	fmt.Println(workloads.MACCount(enc)) // 2 * 256 * 256 * 512
+	// Output:
+	// 67108864
+}

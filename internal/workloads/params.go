@@ -1,9 +1,10 @@
 package workloads
 
-// ParamCount returns the model's weight-parameter count (convolution and
-// fully-connected kernels only; biases and normalization parameters are
+// ParamCount returns the model's weight-parameter count (convolution,
+// fully-connected/GEMM kernels and LayerNorm gain/bias; plain biases are
 // not modeled because they are negligible for DMA traffic). It validates
-// the layer tables against each network's published size.
+// the layer tables against each network's published size. Attention
+// itself carries no weights — its projections are separate GEMM layers.
 func ParamCount(m Model) int64 {
 	var params int64
 	for _, l := range m.Layers {
@@ -11,13 +12,17 @@ func ParamCount(m Model) int64 {
 		switch l.Kind {
 		case Conv:
 			per = int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
-		case FC, RNNCell:
+		case FC, RNNCell, GEMM:
 			per = int64(l.N) * int64(l.KDim)
+		case LayerNorm:
+			per = 2 * int64(l.DModel)
+		case Attention:
+			per = 0
 		}
 		reps := 1
-		// Repeated residual blocks multiply parameters; RNN timesteps
-		// reuse the same weights.
-		if l.Kind != RNNCell {
+		// Repeated residual/transformer blocks multiply parameters; RNN
+		// timesteps and autoregressive decode steps reuse the same weights.
+		if l.Kind != RNNCell && !l.WeightReuse {
 			reps = l.Times()
 		}
 		params += per * int64(reps)
@@ -35,8 +40,23 @@ func MACCount(m Model) int64 {
 		case Conv:
 			oh, ow := l.OutDims()
 			per = int64(oh) * int64(ow) * int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
-		case FC, RNNCell:
+		case FC, RNNCell, GEMM:
 			per = int64(l.M) * int64(l.KDim) * int64(l.N)
+		case LayerNorm:
+			// Two streaming reductions (mean, variance) over S×D elements.
+			per = 2 * int64(l.SeqLen) * int64(l.DModel)
+		case Attention:
+			d := int64(l.DModel)
+			if l.DecodeSteps > 0 {
+				// Step i scores one query against CtxLen+i+1 tokens:
+				// QKᵀ and AV are each (ctx·d) MACs per step.
+				t, p := int64(l.DecodeSteps), int64(l.CtxLen)
+				per = 2 * d * (t*p + t*(t+1)/2)
+			} else {
+				// QKᵀ is S·C·d and AV is S·C·d, independent of head count
+				// (H heads of width d/H).
+				per = 2 * int64(l.SeqLen) * int64(l.Ctx()) * d
+			}
 		}
 		macs += per * int64(l.Times())
 	}

@@ -1,5 +1,6 @@
 // Package workloads defines the paper's six dense DNN benchmarks (§II-C)
-// as layer-shape tables, and the tiling planner that maps each layer onto
+// as layer-shape tables, the post-paper transformer family (TF-1..TF-3,
+// see transformer.go), and the tiling planner that maps each layer onto
 // the NPU's double-buffered scratchpads.
 //
 //	CNN-1  AlexNet      — large filters and FC layers
@@ -8,6 +9,9 @@
 //	RNN-1  DeepBench vanilla RNN (GEMV-shaped, hidden 1760)
 //	RNN-2  DeepBench LSTM, hidden 512
 //	RNN-3  DeepBench LSTM, hidden 2048
+//	TF-1   BERT-base encoder, 384-token sequences
+//	TF-2   GPT-2-style decoder, autoregressive KV-cache streaming
+//	TF-3   BERT-large encoder at training-scale batch
 //
 // Only layer shapes matter to the MMU study — translation traffic is a
 // pure function of tensor geometry, layout, tiling and page size — so no
@@ -27,6 +31,20 @@ const (
 	// RNNCell is one recurrent timestep: a GEMM over the concatenated
 	// input+hidden state. LSTM cells produce 4·hidden outputs.
 	RNNCell
+	// Attention is multi-head self-attention: queries against a key/value
+	// context. The K and V tensors live in one dedicated "/KV" virtual
+	// region with its own page-divergence profile; with DecodeSteps > 0
+	// the layer runs autoregressively and re-streams the growing KV-cache
+	// prefix every step.
+	Attention
+	// LayerNorm streams activations through a normalization pass (two
+	// reductions plus a scale; its weights are a negligible gain/bias
+	// vector pair).
+	LayerNorm
+	// GEMM is a plain matrix multiply over per-sample rows M (transformer
+	// projections and FFNs, where M is the sequence length). It plans
+	// exactly like FC but keeps transformer layer tables readable.
+	GEMM
 )
 
 // LayerSpec is the shape of one layer.
@@ -35,12 +53,37 @@ type LayerSpec struct {
 	Kind Kind
 	// Convolution parameters (input C×H×W, K filters of R×S).
 	C, H, W, K, R, S, Stride, Pad int
-	// GEMM parameters for FC/RNNCell: per-sample rows M, depth KDim,
+	// GEMM parameters for FC/RNNCell/GEMM: per-sample rows M, depth KDim,
 	// outputs N.
 	M, KDim, N int
+	// Transformer parameters (Attention and LayerNorm). SeqLen is the
+	// query-token count and CtxLen the key/value token count (0 means
+	// CtxLen == SeqLen); DModel is the embedding width and Heads the
+	// attention-head count (informational plus a divisibility check —
+	// total attention MACs are head-count invariant).
+	SeqLen, CtxLen, DModel, Heads int
+	// DecodeSteps > 0 switches an Attention layer to autoregressive
+	// decoding: step i attends a single query token over CtxLen+i+1
+	// tokens, streaming the growing KV-cache region.
+	DecodeSteps int
 	// Repeat runs the layer this many times (RNN timesteps, repeated
-	// residual blocks). Zero means once.
+	// residual blocks, transformer blocks or decode steps). Zero means
+	// once.
 	Repeat int
+	// WeightReuse marks repeats that reuse one weight set (autoregressive
+	// decode re-applies the same projection every step, like RNN
+	// timesteps); without it repeats multiply ParamCount (distinct
+	// residual/transformer blocks). RNNCell implies it.
+	WeightReuse bool
+}
+
+// Ctx returns the effective key/value context length (CtxLen, defaulting
+// to SeqLen for self-attention).
+func (l LayerSpec) Ctx() int {
+	if l.CtxLen > 0 {
+		return l.CtxLen
+	}
+	return l.SeqLen
 }
 
 // Times returns the effective repeat count (at least 1).
@@ -189,8 +232,9 @@ func DenseSuite() []Model {
 	return []Model{AlexNet(), GoogLeNet(), ResNet50(), RNN1(), RNN2(), RNN3()}
 }
 
-// ByName returns the model with the given paper alias (CNN-1…RNN-3) or
-// model name (alexnet, googlenet, resnet50, rnn, lstm-small, lstm-large).
+// ByName returns the model with the given paper alias (CNN-1…RNN-3,
+// TF-1…TF-3) or model name (alexnet, googlenet, resnet50, rnn,
+// lstm-small, lstm-large, bert-base, gpt2-decoder, bert-large).
 func ByName(name string) (Model, error) {
 	switch name {
 	case "CNN-1", "alexnet":
@@ -205,6 +249,12 @@ func ByName(name string) (Model, error) {
 		return RNN2(), nil
 	case "RNN-3", "lstm-large":
 		return RNN3(), nil
+	case "TF-1", "bert-base":
+		return TF1(), nil
+	case "TF-2", "gpt2-decoder":
+		return TF2(), nil
+	case "TF-3", "bert-large":
+		return TF3(), nil
 	}
 	return Model{}, fmt.Errorf("workloads: unknown model %q", name)
 }

@@ -1,0 +1,109 @@
+package workloads
+
+import "fmt"
+
+// The transformer family is the repository's first post-paper workload
+// class: attention and its KV cache produce exactly the translation-
+// stressing access patterns NeuMMU's PRMB+PTW design targets, but with a
+// page-divergence profile the 2016-era CNN/RNN suite never exercises —
+// the decoder re-streams a growing multi-megabyte KV region on every
+// generated token.
+//
+//	TF-1  BERT-base encoder   (12 blocks, d=768,  12 heads, ff=3072, 384 tokens)
+//	TF-2  GPT-2-style decoder (12 blocks, d=768,  12 heads, ff=3072,
+//	                           512 past tokens + 64 decode steps)
+//	TF-3  BERT-large encoder  (24 blocks, d=1024, 16 heads, ff=4096, 512 tokens)
+//
+// Like the dense suite, only shapes are modeled: each block is a QKV
+// projection, self-attention, an output projection, two FFN GEMMs, and
+// two LayerNorms. Embedding tables are excluded (they are the sparse
+// suite's domain, internal/embeddings).
+
+// TF-2's decode geometry, exported so the kvcache study and tracegen can
+// label decode steps with their context length without re-deriving it.
+const (
+	// TF2PastTokens is the prompt length already resident in the KV cache
+	// when TF-2's decode phase starts.
+	TF2PastTokens = 512
+	// TF2DecodeSteps is the number of autoregressively generated tokens.
+	TF2DecodeSteps = 64
+)
+
+// TransformerEncoder returns an encoder-only transformer: `blocks`
+// identical blocks (expressed through Repeat, so ParamCount multiplies
+// and RepeatCap can truncate simulation depth) over seq-token sequences.
+func TransformerEncoder(name string, blocks, dModel, heads, ff, seq int) Model {
+	gemm := func(n string, k, out int) LayerSpec {
+		return LayerSpec{Name: n, Kind: GEMM, M: seq, KDim: k, N: out, Repeat: blocks}
+	}
+	ln := func(n string) LayerSpec {
+		return LayerSpec{Name: n, Kind: LayerNorm, SeqLen: seq, DModel: dModel, Repeat: blocks}
+	}
+	return Model{Name: name, Layers: []LayerSpec{
+		gemm("qkv", dModel, 3*dModel),
+		{Name: "attn", Kind: Attention, SeqLen: seq, DModel: dModel, Heads: heads, Repeat: blocks},
+		gemm("proj", dModel, dModel),
+		ln("ln1"),
+		gemm("ffn1", dModel, ff),
+		gemm("ffn2", ff, dModel),
+		ln("ln2"),
+	}}
+}
+
+// TransformerDecoder returns a decoder in its autoregressive serving
+// phase: `past` prompt tokens are already KV-resident, then `steps`
+// tokens are generated one at a time. Blocks are emitted explicitly
+// (b00/… b11/…) because each block owns a distinct KV region and weight
+// set; the per-step projections repeat with WeightReuse (the same
+// matrices serve every generated token, like RNN timesteps), while each
+// block's Attention layer internally covers all decode steps so its tile
+// schedule can grow the KV prefix step by step.
+func TransformerDecoder(name string, blocks, dModel, heads, ff, past, steps int) Model {
+	var layers []LayerSpec
+	for b := 0; b < blocks; b++ {
+		p := fmt.Sprintf("b%02d/", b)
+		gemm := func(n string, k, out int) LayerSpec {
+			return LayerSpec{Name: p + n, Kind: GEMM, M: 1, KDim: k, N: out,
+				Repeat: steps, WeightReuse: true}
+		}
+		ln := func(n string) LayerSpec {
+			return LayerSpec{Name: p + n, Kind: LayerNorm, SeqLen: 1, DModel: dModel,
+				Repeat: steps, WeightReuse: true}
+		}
+		layers = append(layers,
+			gemm("qkv", dModel, 3*dModel),
+			LayerSpec{Name: p + "attn", Kind: Attention, SeqLen: 1, CtxLen: past,
+				DModel: dModel, Heads: heads, DecodeSteps: steps},
+			gemm("proj", dModel, dModel),
+			ln("ln1"),
+			gemm("ffn1", dModel, ff),
+			gemm("ffn2", ff, dModel),
+			ln("ln2"),
+		)
+	}
+	return Model{Name: name, Layers: layers}
+}
+
+// TF1 returns TF-1: a BERT-base encoder over 384-token sequences
+// (≈85 M weight parameters, matching the published encoder size).
+func TF1() Model {
+	return TransformerEncoder("TF-1", 12, 768, 12, 3072, 384)
+}
+
+// TF2 returns TF-2: a GPT-2-small-shaped decoder generating
+// TF2DecodeSteps tokens against a TF2PastTokens-token prompt
+// (≈85 M weight parameters; the KV regions are the workload's point).
+func TF2() Model {
+	return TransformerDecoder("TF-2", 12, 768, 12, 3072, TF2PastTokens, TF2DecodeSteps)
+}
+
+// TF3 returns TF-3: a BERT-large encoder over 512-token sequences
+// (≈302 M weight parameters), intended for training-scale batches.
+func TF3() Model {
+	return TransformerEncoder("TF-3", 24, 1024, 16, 4096, 512)
+}
+
+// TransformerSuite returns the transformer benchmarks in TF order.
+func TransformerSuite() []Model {
+	return []Model{TF1(), TF2(), TF3()}
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"neummu/internal/vm"
+)
+
+func testSpace() *vm.Space { return vm.NewSpace(0x1000_0000, vm.Page4K) }
+
+func TestTransformerSuiteNames(t *testing.T) {
+	suite := TransformerSuite()
+	want := []string{"TF-1", "TF-2", "TF-3"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d models", len(suite))
+	}
+	for i, m := range suite {
+		if m.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, m.Name, want[i])
+		}
+		if len(m.Layers) == 0 {
+			t.Errorf("%s has no layers", m.Name)
+		}
+	}
+}
+
+func TestTransformerByName(t *testing.T) {
+	for _, name := range []string{"TF-1", "bert-base", "TF-2", "gpt2-decoder", "TF-3", "bert-large"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+}
+
+// TestTransformerParamCounts validates the layer tables against the
+// published encoder/decoder weight sizes (embedding tables excluded, as
+// everywhere in this package).
+func TestTransformerParamCounts(t *testing.T) {
+	cases := []struct {
+		model Model
+		want  int64 // published non-embedding parameter count
+		tol   float64
+	}{
+		{TF1(), 85_000_000, 0.02},  // BERT-base encoder ≈ 85 M
+		{TF2(), 85_000_000, 0.02},  // GPT-2 small blocks ≈ 85 M
+		{TF3(), 302_000_000, 0.02}, // BERT-large encoder ≈ 302 M
+	}
+	for _, c := range cases {
+		got := ParamCount(c.model)
+		ratio := float64(got) / float64(c.want)
+		if ratio < 1-c.tol || ratio > 1+c.tol {
+			t.Errorf("%s: %d params, want ≈%d", c.model.Name, got, c.want)
+		}
+	}
+}
+
+// TestDecodeWeightReuse: the decoder's per-step projections repeat with
+// WeightReuse, so decode steps must not multiply ParamCount while encoder
+// blocks (plain Repeat) must.
+func TestDecodeWeightReuse(t *testing.T) {
+	one := TransformerDecoder("d", 1, 768, 12, 3072, 128, 4)
+	four := TransformerDecoder("d", 1, 768, 12, 3072, 128, 16)
+	if ParamCount(one) != ParamCount(four) {
+		t.Fatalf("decode steps multiplied params: %d vs %d", ParamCount(one), ParamCount(four))
+	}
+	enc1 := TransformerEncoder("e", 1, 768, 12, 3072, 128)
+	enc2 := TransformerEncoder("e", 2, 768, 12, 3072, 128)
+	if 2*ParamCount(enc1) != ParamCount(enc2) {
+		t.Fatalf("encoder blocks did not multiply params: %d vs %d", ParamCount(enc1), ParamCount(enc2))
+	}
+}
+
+func TestAttentionMACsHeadInvariant(t *testing.T) {
+	a := Model{Name: "a", Layers: []LayerSpec{
+		{Name: "attn", Kind: Attention, SeqLen: 128, DModel: 768, Heads: 12}}}
+	b := Model{Name: "b", Layers: []LayerSpec{
+		{Name: "attn", Kind: Attention, SeqLen: 128, DModel: 768, Heads: 4}}}
+	if MACCount(a) != MACCount(b) {
+		t.Fatalf("attention MACs depend on head count: %d vs %d", MACCount(a), MACCount(b))
+	}
+	// 2·S·C·d for self-attention.
+	if want := int64(2 * 128 * 128 * 768); MACCount(a) != want {
+		t.Fatalf("attention MACs = %d, want %d", MACCount(a), want)
+	}
+}
+
+// TestKVRegionIsDistinct: the attention planner must give the KV pair its
+// own virtual range, disjoint from the query region.
+func TestKVRegionIsDistinct(t *testing.T) {
+	plan, err := BuildPlan(TF1(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, ok := plan.Space.Named("attn/KV")
+	if !ok {
+		t.Fatal("no attn/KV region")
+	}
+	q, ok := plan.Space.Named("attn/Q")
+	if !ok {
+		t.Fatal("no attn/Q region")
+	}
+	if kv.Base < q.End() && q.Base < kv.End() {
+		t.Fatalf("Q %#x..%#x overlaps KV %#x..%#x", q.Base, q.End(), kv.Base, kv.End())
+	}
+	// BERT-base at 384 tokens: 384·2·768·4 B = 2.25 MB of KV per block.
+	if want := uint64(384 * 2 * 768 * 4); kv.Size < want {
+		t.Fatalf("KV region %d bytes, want ≥ %d", kv.Size, want)
+	}
+}
+
+// TestDecodeTilesGrowKV: decode step i must stream KV rows [0, past+i+1),
+// so per-step fetched bytes grow monotonically and steps are tagged.
+func TestDecodeTilesGrowKV(t *testing.T) {
+	m := TransformerDecoder("d", 1, 768, 12, 3072, 64, 8)
+	plan, err := BuildPlan(m, 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attn PlannedLayer
+	for _, l := range plan.Layers {
+		if strings.HasSuffix(l.Name, "/attn") {
+			attn = l
+			break
+		}
+	}
+	if len(attn.Tiles) == 0 {
+		t.Fatal("no attention tiles")
+	}
+	const rowBytes = 2 * 768 * 4 // one token's K+V
+	perStep := map[int]int64{}
+	lastStep := -1
+	for _, tile := range attn.Tiles {
+		if tile.Step < lastStep {
+			t.Fatalf("tile steps out of order: %d after %d", tile.Step, lastStep)
+		}
+		lastStep = tile.Step
+		for _, v := range tile.Views {
+			if strings.HasSuffix(v.T.Name, "/KV") {
+				perStep[tile.Step] += v.Bytes()
+			}
+		}
+	}
+	if len(perStep) != 8 {
+		t.Fatalf("tiles cover %d steps, want 8", len(perStep))
+	}
+	for i := 0; i < 8; i++ {
+		want := int64(64+i+1) * rowBytes
+		if perStep[i] != want {
+			t.Fatalf("step %d streams %d KV bytes, want %d", i, perStep[i], want)
+		}
+	}
+}
+
+// TestEncoderAttentionCoversGrid: summed over tiles, M·K must equal
+// batch·S·C (every query row scored against every context token exactly
+// once), and the KV fetch must cover the context exactly once.
+func TestEncoderAttentionCoversGrid(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		l := LayerSpec{Name: "attn", Kind: Attention, SeqLen: 1536, DModel: 768, Heads: 12}
+		pl, err := planAttention(l, batch, DefaultTiles().withDefaults(), testSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mk, kvRows int64
+		for _, tile := range pl.Tiles {
+			mk += tile.M * tile.K
+			for _, v := range tile.Views {
+				if strings.HasSuffix(v.T.Name, "/KV") {
+					kvRows += int64(v.Ranges[1].Len())
+				}
+			}
+		}
+		if want := int64(batch) * 1536 * 1536; mk != want {
+			t.Fatalf("batch %d: tiles cover %d of %d query-context pairs", batch, mk, want)
+		}
+		if kvRows != 1536 {
+			t.Fatalf("batch %d: KV fetched %d rows, want 1536 exactly once", batch, kvRows)
+		}
+	}
+}
+
+func TestLayerNormStreamsOnce(t *testing.T) {
+	l := LayerSpec{Name: "ln", Kind: LayerNorm, SeqLen: 4096, DModel: 768}
+	pl, err := planLayerNorm(l, 2, DefaultTiles().withDefaults(), testSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytes int64
+	for _, tile := range pl.Tiles {
+		bytes += tile.Bytes()
+	}
+	if want := int64(2 * 4096 * 768 * 4); bytes != want {
+		t.Fatalf("layernorm fetches %d bytes, want %d (one pass)", bytes, want)
+	}
+}
+
+func TestAttentionRejectsBadShapes(t *testing.T) {
+	bad := []LayerSpec{
+		{Name: "a", Kind: Attention, SeqLen: 0, DModel: 768},
+		{Name: "b", Kind: Attention, SeqLen: 128, DModel: 0},
+		{Name: "c", Kind: Attention, SeqLen: 128, DModel: 768, Heads: 5},
+	}
+	for _, l := range bad {
+		if _, err := planAttention(l, 1, DefaultTiles().withDefaults(), testSpace()); err == nil {
+			t.Errorf("%s: bad attention spec accepted", l.Name)
+		}
+	}
+}
+
+// TestTransformerPlansRespectBudgets mirrors the dense-suite budget test:
+// every tile of every transformer plan fits the combined scratchpads.
+func TestTransformerPlansRespectBudgets(t *testing.T) {
+	for _, m := range TransformerSuite() {
+		plan, err := BuildPlan(m, 1, DefaultTiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range plan.Layers {
+			for i, tile := range l.Tiles {
+				if tile.Bytes() > (5<<20)+(5<<20)+(1<<20) {
+					t.Fatalf("%s/%s tile %d fetches %d bytes, exceeds budgets", m.Name, l.Name, i, tile.Bytes())
+				}
+				if tile.M <= 0 || tile.K <= 0 || tile.N <= 0 {
+					t.Fatalf("%s/%s tile %d has degenerate GEMM %dx%dx%d",
+						m.Name, l.Name, i, tile.M, tile.K, tile.N)
+				}
+			}
+		}
+	}
+}
+
+// TestTransformerViewsStayInsideRegions extends the dense-suite region
+// containment check to the transformer planner's Q/KV/X regions.
+func TestTransformerViewsStayInsideRegions(t *testing.T) {
+	plan, err := BuildPlan(TF2(), 1, DefaultTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range plan.Layers {
+		for _, tile := range l.Tiles {
+			for _, v := range tile.Views {
+				for _, seg := range v.Segments() {
+					r, ok := plan.Space.Find(seg.VA)
+					if !ok {
+						t.Fatalf("%s: segment at %#x outside any region", l.Name, seg.VA)
+					}
+					if seg.End() > r.End() {
+						t.Fatalf("%s: segment overruns region %s", l.Name, r.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -115,8 +115,15 @@ func DenseModels() []string {
 // SparseModels returns the recommendation-system workloads of §V.
 func SparseModels() []string { return []string{"NCF", "DLRM"} }
 
-// Simulate runs one dense DNN workload (by paper alias or model name) at
-// the given batch size under the given MMU kind.
+// TransformerModels returns the post-paper transformer workloads: TF-1
+// (BERT-base encoder), TF-2 (GPT-2-style decoder with autoregressive
+// KV-cache streaming), and TF-3 (BERT-large at training-scale batch).
+// They run everywhere dense models do — Simulate, Sweep, and the
+// harness's tfsuite/kvcache/seqsweep studies (see EXPERIMENTS.md).
+func TransformerModels() []string { return []string{"TF-1", "TF-2", "TF-3"} }
+
+// Simulate runs one dense DNN or transformer workload (by paper alias or
+// model name) at the given batch size under the given MMU kind.
 func Simulate(model string, batch int, kind MMUKind, opts Options) (*Result, error) {
 	m, err := workloads.ByName(model)
 	if err != nil {
