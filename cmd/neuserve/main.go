@@ -1,0 +1,91 @@
+// Command neuserve runs the NeuMMU simulator as a long-lived HTTP
+// service: many clients submit simulation and sweep requests over JSON,
+// a sharded scheduler runs them on a bounded worker budget, and a
+// content-addressed cache answers repeated or overlapping design-space
+// cells without re-simulating (see internal/serve for the API and its
+// determinism guarantee).
+//
+// Usage:
+//
+//	neuserve                          # listen on :8077, all CPUs
+//	neuserve -addr 127.0.0.1:9000     # explicit listen address
+//	neuserve -workers 4 -shards 2     # bound scheduler parallelism
+//	neuserve -queue 64 -cache-mb 128  # admission + cache bounds
+//
+// Quickstart against a running server:
+//
+//	curl localhost:8077/v1/figures                       # registry
+//	curl localhost:8077/v1/figures/fig8?quick=1          # one figure
+//	curl -d '{"quick":true,"mmus":["iommu","neummu"]}' \
+//	     localhost:8077/v1/sweep                         # NDJSON stream
+//	curl localhost:8077/metrics                          # ops counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
+// (bounded by -drain-timeout), queued jobs finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neummu/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "total simulation workers (0 = all CPUs)")
+		shards  = flag.Int("shards", 0, "scheduler shards (0 = default, capped at workers)")
+		queue   = flag.Int("queue", 0, "per-shard job-queue bound; full queues answer 429 (0 = 256)")
+		cacheMB = flag.Int("cache-mb", 0, "cell result-cache bound in MiB (0 = 64)")
+		figMB   = flag.Int("fig-cache-mb", 0, "rendered-figure cache bound in MiB (0 = 16)")
+		cells   = flag.Int("max-cells", 0, "per-request sweep cell bound (0 = 4096)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:            *workers,
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		CacheBytes:         int64(*cacheMB) << 20,
+		FigureCacheBytes:   int64(*figMB) << 20,
+		MaxCellsPerRequest: *cells,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "neuserve: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (Shutdown is the
+		// other path, below).
+		fmt.Fprintln(os.Stderr, "neuserve:", err)
+		s.Close()
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "neuserve: %v: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "neuserve: shutdown:", err)
+	}
+	// HTTP is quiesced; now stop admission and let queued jobs drain.
+	s.Close()
+}

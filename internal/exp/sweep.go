@@ -194,6 +194,14 @@ func (h *Harness) Sweep(ax Axes) ([]SweepResult, error) {
 	return h.SweepPoints(ax.points(h.opts))
 }
 
+// Points expands the axes into their cartesian grid under the harness's
+// configured defaults, in the deterministic grid order Sweep evaluates.
+// It is the request→cell expansion step of the serving layer
+// (internal/serve), which schedules each point itself so overlapping
+// requests can share per-cell cache entries, then reassembles rows in
+// exactly this order.
+func (h *Harness) Points(ax Axes) []Point { return ax.points(h.opts) }
+
 // SweepPoints evaluates an explicit point list — for non-cartesian spaces
 // such as Figure 12b's constant-product [PRMB, PTW] frontier — returning
 // results in input order.

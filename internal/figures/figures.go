@@ -1,0 +1,508 @@
+// Package figures is the shared figure registry and renderer: every table
+// and figure of the paper's evaluation (plus the beyond-the-paper studies)
+// as a named entry that renders into any io.Writer.
+//
+// The registry is the single source of truth for figure names and section
+// titles. Both front ends — the cmd/paperfigs CLI (stdout or -out files)
+// and the neuserve HTTP service (internal/serve) — render through this
+// package, which is what makes the service's byte-identical-to-CLI
+// guarantee checkable: the same Render call produces the same bytes no
+// matter which front end asked for them.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"neummu/internal/exp"
+)
+
+// Entry is one renderable figure: its registry name, the section title
+// printed above its rows, and the renderer.
+type Entry struct {
+	Name  string
+	Title string
+	// Render writes the figure's rows (without the section header) to w.
+	Render func(h *exp.Harness, w io.Writer) error
+}
+
+// registry lists every figure in rendering order. Every entry must be
+// indexed in EXPERIMENTS.md (TestFigureRegistryIndexed enforces this), so
+// the doc, the name validation, and the usage text cannot drift apart.
+var registry = []Entry{
+	{"table1", "Table I: Baseline NPU configuration", func(_ *exp.Harness, w io.Writer) error { return table1(w) }},
+	{"fig6", "Figure 6: page divergence per DMA tile (4KB pages)", fig6},
+	{"fig7", "Figure 7: translations requested per 1000-cycle window", fig7},
+	{"fig8", "Figure 8: baseline IOMMU performance normalized to oracle", fig8},
+	{"fig10", "Figure 10: PRMB mergeable-slot sweep (8 PTWs)",
+		func(h *exp.Harness, w io.Writer) error { return sweep(w, "slots", h.Fig10) }},
+	{"fig11", "Figure 11: PTW sweep with PRMB(32)",
+		func(h *exp.Harness, w io.Writer) error { return sweep(w, "PTWs", h.Fig11) }},
+	{"fig12a", "Figure 12a: PTW sweep without PRMB",
+		func(h *exp.Harness, w io.Writer) error { return sweep(w, "PTWs", h.Fig12a) }},
+	{"fig12b", "Figure 12b: energy/performance of [PRMB,PTW] design points", fig12b},
+	{"fig13", "Figure 13: TPreg tag-match rate at L4/L3/L2 indices", fig13},
+	{"fig14", "Figure 14: virtual addresses accessed across consecutive tiles (CNN-1 fc6)", fig14},
+	{"fig15", "Figure 15: recommendation inference latency breakdown (normalized to MMU-less baseline)", fig15},
+	{"fig16", "Figure 16: demand paging, small vs large pages (normalized to oracular MMU)", fig16},
+	{"summary", "Section IV-D summary: NeuMMU vs baseline IOMMU (paper targets in parens)", summary},
+	{"tlbsweep", "Section III-C: TLB capacity sweep on baseline IOMMU", tlbsweep},
+	{"largepage", "Section VI-A: dense workloads with 2MB large pages", largepage},
+	{"spatial", "Section VI-B: spatial-array NPU (DaDianNao/Eyeriss-style)", spatialFig},
+	{"sensitivity", "Section VI-C: large-batch common-layer sensitivity", sensitivity},
+	{"pathcache", "Section IV-C: translation-path cache design space (TPreg vs TPC vs UPTC)", pathcache},
+	{"multitenant", "Extension: IOMMU sharing — walkers consumed by a co-tenant accelerator", multitenant},
+	{"throttle", "Section III-C counterpoint: throttling the DMA issue queue is no fix", throttle},
+	{"steady", "Extension: steady-state demand paging across consecutive batches", steady},
+	{"oversub", "Extension: local-memory oversubscription (warm-batch thrashing)", oversub},
+	{"dataflow", "Section VI-B: dataflow study (weight-stationary / output-stationary / spatial)", dataflow},
+	{"tfsuite", "Beyond the paper: transformer suite, IOMMU vs NeuMMU (normalized to oracle)", tfsuite},
+	{"kvcache", "Beyond the paper: decoder KV-cache stream across decode steps (TF-2, oracle MMU)", kvcache},
+	{"seqsweep", "Beyond the paper: sequence-length sweep, 1-block encoder (128-8K tokens)", seqsweep},
+}
+
+// Registry returns the figure entries in rendering order. Callers must not
+// mutate the returned slice.
+func Registry() []Entry { return registry }
+
+// Names returns every figure name in rendering order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, f := range registry {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// ByName looks a figure up in the registry.
+func ByName(name string) (Entry, bool) {
+	for _, f := range registry {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Entry{}, false
+}
+
+// UnknownNameError is the shared unknown-figure error: it names the full
+// valid list, and every front end (CLI error, WriteFiles, the service's
+// 404 body) reports it verbatim so the message cannot drift.
+func UnknownNameError(name string) error {
+	return fmt.Errorf("unknown figure %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Render writes the named figure — section header plus rows — to w. The
+// bytes written are the contract shared by every front end: `paperfigs
+// -fig name`, `paperfigs -out`, and the neuserve figure endpoint all emit
+// exactly this. Unknown names report the full valid list.
+func Render(h *exp.Harness, w io.Writer, name string) error {
+	f, ok := ByName(name)
+	if !ok {
+		return UnknownNameError(name)
+	}
+	if _, err := fmt.Fprintf(w, "\n%s\n%s\n", f.Title, strings.Repeat("=", len(f.Title))); err != nil {
+		return err
+	}
+	return f.Render(h, w)
+}
+
+// WriteFiles renders each named figure into its own file, <dir>/<name>.txt,
+// creating dir if needed. It is the renderer-to-file helper shared by
+// `paperfigs -out` and the service's artifact path: each file holds exactly
+// the bytes Render would stream for that figure.
+func WriteFiles(h *exp.Harness, dir string, names []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, ok := ByName(name); !ok {
+			return UnknownNameError(name)
+		}
+	}
+	for _, name := range names {
+		f, err := os.Create(filepath.Join(dir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		if err := Render(h, f, name); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func table1(w io.Writer) error {
+	rows := [][2]string{
+		{"Systolic-array dimension", "128 x 128"},
+		{"Operating frequency", "1 GHz"},
+		{"Scratchpad (activations/weights)", "15/10 MB (5 MB double-buffered tiles)"},
+		{"Memory channels", "8"},
+		{"Memory bandwidth", "600 GB/sec"},
+		{"Memory access latency", "100 cycles"},
+		{"TLB entries", "2048 (5-cycle hit)"},
+		{"Page-table walkers (IOMMU)", "8 (100 cycles per level)"},
+		{"NUMA access latency", "150 cycles"},
+		{"CPU-NPU interconnect", "16 GB/sec"},
+		{"NPU-NPU interconnect", "160 GB/sec"},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-36s %s\n", r[0], r[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig6(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %10s %10s\n", "model", "batch", "avg", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %10.0f %10.0f\n", r.Model, r.Batch, r.Avg, r.Max)
+	}
+	return nil
+}
+
+func fig7(h *exp.Harness, w io.Writer) error {
+	series, err := h.Fig7()
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "  %s (batch 1): peak %d/window, burst fraction %.2f\n",
+			s.Model, s.Series.Peak(), s.Series.BurstFraction(0.9))
+		fmt.Fprintf(w, "  |%s|\n", s.Series.Sparkline(72))
+	}
+	return nil
+}
+
+func fig8(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig8()
+	if err != nil {
+		return err
+	}
+	printNormPerf(w, rows)
+	return nil
+}
+
+func printNormPerf(w io.Writer, rows []exp.NormPerfRow) {
+	fmt.Fprintf(w, "  %-8s %-5s %10s\n", "model", "batch", "perf")
+	sum := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %10.4f\n", r.Model, r.Batch, r.Perf)
+		sum += r.Perf
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %10.4f\n", "average", "", sum/float64(len(rows)))
+}
+
+func sweep(w io.Writer, param string, run func() ([]exp.SweepRow, error)) error {
+	rows, err := run()
+	if err != nil {
+		return err
+	}
+	// Aggregate per parameter value across the suite.
+	agg := map[int][]float64{}
+	for _, r := range rows {
+		agg[r.Param] = append(agg[r.Param], r.Perf)
+	}
+	var params []int
+	for p := range agg {
+		params = append(params, p)
+	}
+	sort.Ints(params)
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s\n", param, "avg perf", "min", "max")
+	for _, p := range params {
+		vals := agg[p]
+		sum, min, max := 0.0, vals[0], vals[0]
+		for _, v := range vals {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(w, "  %-8d %12.4f %12.4f %12.4f\n", p, sum/float64(len(vals)), min, max)
+	}
+	return nil
+}
+
+func fig12b(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig12b()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-12s %12s %16s\n", "[M,N]", "perf", "energy (vs nominal)")
+	for _, r := range rows {
+		mark := ""
+		if r.Slots == 32 && r.PTWs == 128 {
+			mark = "  *nominal"
+		}
+		fmt.Fprintf(w, "  [%4d,%4d] %12.4f %16.2f%s\n", r.Slots, r.PTWs, r.Perf, r.Energy, mark)
+	}
+	return nil
+}
+
+func fig13(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig13()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %8s %8s %8s\n", "model", "batch", "L4", "L3", "L2")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Model, r.Batch, 100*r.L4, 100*r.L3, 100*r.L2)
+	}
+	return nil
+}
+
+func fig14(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig14(4)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	step := len(rows) / 16
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(rows); i += step {
+		fmt.Fprintf(w, "  txn %6d  VA %#012x\n", rows[i].Seq, rows[i].VA)
+	}
+	fmt.Fprintf(w, "  (%d transactions total; monotone streaming within each tile)\n", len(rows))
+	return nil
+}
+
+func fig15(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig15()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-6s %-5s %-12s %8s %8s %8s %8s %8s\n",
+		"model", "batch", "mode", "embed", "gemm", "reduce", "else", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s b%02d   %-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			r.Model, r.Batch, r.Mode, r.Embedding, r.GEMM, r.Reduction, r.Else, r.Total)
+	}
+	return nil
+}
+
+func fig16(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Fig16()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-6s %-5s %-6s %-8s %10s\n", "model", "batch", "pages", "mmu", "perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s b%02d   %-6s %-8s %10.4f\n",
+			r.Model, r.Batch, r.PageSize, r.MMU, r.Perf)
+	}
+	return nil
+}
+
+func summary(h *exp.Harness, w io.Writer) error {
+	s, err := h.RunSummary()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  baseline IOMMU avg normalized perf  %8.4f   (paper: ~0.05)\n", s.IOMMUAvgPerf)
+	fmt.Fprintf(w, "  NeuMMU avg normalized perf          %8.4f   (paper: 0.9994)\n", s.NeuMMUAvgPerf)
+	fmt.Fprintf(w, "  NeuMMU performance overhead         %8.4f%%  (paper: 0.06%%)\n", 100*s.NeuMMUOverhead)
+	fmt.Fprintf(w, "  translation energy ratio IOMMU/Neu  %8.2fx  (paper: 16.3x)\n", s.EnergyRatio)
+	fmt.Fprintf(w, "  walk DRAM-access ratio IOMMU/Neu    %8.2fx  (paper: 18.8x)\n", s.WalkAccessRatio)
+	return nil
+}
+
+func tlbsweep(h *exp.Harness, w io.Writer) error {
+	rows, err := h.TLBSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-10s %12s\n", "entries", "avg perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10d %12.4f\n", r.Entries, r.Perf)
+	}
+	return nil
+}
+
+func largepage(h *exp.Harness, w io.Writer) error {
+	rows, err := h.LargePageDense()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %12s %12s %12s\n", "model", "batch", "IOMMU 4KB", "IOMMU 2MB", "NeuMMU 2MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %12.4f %12.4f %12.4f\n",
+			r.Model, r.Batch, r.Perf4K, r.Perf2M, r.NeuMMU2M)
+	}
+	return nil
+}
+
+func spatialFig(h *exp.Harness, w io.Writer) error {
+	rows, err := h.SpatialNPU()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func sensitivity(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Sensitivity()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%03d  %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func pathcache(h *exp.Harness, w io.Writer) error {
+	rows, err := h.PathCacheStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %8s %8s %8s %14s %10s\n", "kind", "L4", "L3", "L2", "reads/walk", "perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %7.1f%% %7.1f%% %7.1f%% %14.2f %10.4f\n",
+			r.Kind, 100*r.L4, 100*r.L3, 100*r.L2, r.WalkMemPerWalk, r.Perf)
+	}
+	return nil
+}
+
+func multitenant(h *exp.Harness, w io.Writer) error {
+	rows, err := h.MultiTenant()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-12s %-12s %12s\n", "stolen PTWs", "remaining", "avg perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12d %-12d %12.4f\n", r.StolenPTWs, 128-r.StolenPTWs, r.Perf)
+	}
+	return nil
+}
+
+func throttle(h *exp.Harness, w io.Writer) error {
+	rows, err := h.BurstThrottle()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-12s %12s\n", "queue depth", "avg perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12d %12.4f\n", r.IssueInterval, r.Perf)
+	}
+	return nil
+}
+
+func steady(h *exp.Harness, w io.Writer) error {
+	rows, err := h.SteadyState()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-6s %-22s %-5s %14s %10s %12s %8s\n",
+		"model", "mode", "iter", "gather cycles", "faults", "migrated KB", "promos")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s %-22s %-5d %14d %10d %12d %8d\n",
+			r.Model, r.Mode, r.Iteration, r.GatherCycles, r.Faults, r.MigratedKB, r.Promotions)
+	}
+	return nil
+}
+
+func oversub(h *exp.Harness, w io.Writer) error {
+	rows, err := h.Oversubscription()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-16s %14s %12s %12s\n", "capacity (pages)", "warm gather", "warm faults", "evictions")
+	for _, r := range rows {
+		capStr := "unbounded"
+		if r.CapacityPages > 0 {
+			capStr = fmt.Sprintf("%d", r.CapacityPages)
+		}
+		fmt.Fprintf(w, "  %-16s %14d %12d %12d\n", capStr, r.WarmGather, r.WarmFaults, r.Evictions)
+	}
+	return nil
+}
+
+func dataflow(h *exp.Harness, w io.Writer) error {
+	rows, err := h.DataflowStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-20s %-8s %-5s %12s %12s\n", "dataflow", "model", "batch", "IOMMU", "NeuMMU")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s %-8s b%02d   %12.4f %12.4f\n", r.Dataflow, r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+	}
+	return nil
+}
+
+func tfsuite(h *exp.Harness, w io.Writer) error {
+	rows, err := h.TFSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %12s %12s\n", "model", "batch", "IOMMU", "NeuMMU")
+	var sumIO, sumNeu float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s b%02d   %12.4f %12.4f\n", r.Model, r.Batch, r.IOMMU, r.NeuMMU)
+		sumIO += r.IOMMU
+		sumNeu += r.NeuMMU
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "  %-8s %-5s %12.4f %12.4f\n", "average", "", sumIO/n, sumNeu/n)
+	return nil
+}
+
+func kvcache(h *exp.Harness, w io.Writer) error {
+	s, err := h.KVCache()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %s, first decoder block: %d decode steps over a %d KB KV region\n",
+		s.Model, s.Steps, s.KVBytes>>10)
+	fmt.Fprintf(w, "  %-5s %-6s %8s %8s %9s %9s\n",
+		"step", "ctx", "txns", "kv txns", "kv pages", "pages")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "  %-5d %-6d %8d %8d %9d %9d\n",
+			r.Step, r.CtxTokens, r.Transactions, r.KVTransactions, r.KVPages, r.TilePages)
+	}
+	first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+	fmt.Fprintf(w, "  KV stream: %d -> %d pages/step across the run (growth %.2fx)\n",
+		first.KVPages, last.KVPages, float64(last.KVPages)/float64(first.KVPages))
+	fmt.Fprintf(w, "  translation bursts: peak %d/window, burst fraction %.2f\n",
+		s.Timeline.Peak(), s.Timeline.BurstFraction(0.9))
+	fmt.Fprintf(w, "  |%s|\n", s.Timeline.Sparkline(72))
+	return nil
+}
+
+func seqsweep(h *exp.Harness, w io.Writer) error {
+	rows, err := h.SeqSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-8s %12s %12s %14s %14s\n",
+		"tokens", "IOMMU", "NeuMMU", "pages/tile", "translations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8d %12.4f %12.4f %14.1f %14d\n",
+			r.SeqLen, r.IOMMU, r.NeuMMU, r.PageDivergence, r.Translations)
+	}
+	return nil
+}

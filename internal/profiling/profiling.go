@@ -6,8 +6,11 @@ package profiling
 import (
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 )
 
 // Start begins CPU profiling (when cpu is non-empty) and arranges a heap
@@ -15,6 +18,13 @@ import (
 // function is idempotent and must run before the process exits — call it
 // explicitly on os.Exit paths, since those skip defers. Errors while
 // writing the heap profile are reported to stderr under errPrefix.
+//
+// When any profile is active, Start also installs a SIGINT/SIGTERM
+// handler that flushes and closes the profiles before exiting with the
+// conventional 128+signal status — without it, interrupting a long run
+// with Ctrl-C discards the pprof data the run existed to collect. The
+// handler shares the same idempotent stop, so a normal exit path calling
+// stop() first renders the handler a no-op.
 func Start(cpu, mem, errPrefix string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpu != "" {
@@ -28,27 +38,40 @@ func Start(cpu, mem, errPrefix string) (stop func(), err error) {
 		}
 		cpuFile = f
 	}
-	stopped := false
-	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
-		}
-		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
-				return
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
 			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", errPrefix, err)
+				}
 			}
-		}
-	}, nil
+		})
+	}
+	if cpu != "" || mem != "" {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-ch
+			fmt.Fprintf(os.Stderr, "%s: %v: flushing profiles\n", errPrefix, sig)
+			stop()
+			code := 128 + int(syscall.SIGTERM)
+			if s, ok := sig.(syscall.Signal); ok {
+				code = 128 + int(s)
+			}
+			os.Exit(code)
+		}()
+	}
+	return stop, nil
 }

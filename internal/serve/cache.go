@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: a byte-size-bounded LRU
+// over comparable struct keys, with in-flight deduplication. It follows
+// the keying discipline of the exp harness memo — the key is a value
+// struct describing the computation exhaustively, so two requests that
+// mean the same work collide on the same entry without any string
+// formatting — and adds what a long-running service needs on top of a
+// memo: eviction (bounded memory) and instrumentation.
+//
+// Resolve is the only compute path. For a given key, concurrent callers
+// observe exactly one of three outcomes, each counted separately:
+//
+//   - hit: the value is cached; returned immediately.
+//   - join: another caller is already computing it; the returned Flight
+//     shares that computation's result.
+//   - miss: this caller owns the computation; the schedule callback is
+//     invoked to run it (on the sharded scheduler, in practice).
+//
+// The hit/join/miss counters are the service's "overlapping cells are
+// simulated exactly once" evidence: misses equals the number of compute
+// executions, no matter how many clients raced.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	size     func(V) int64
+	ll       *list.List // front = most recently used
+	entries  map[K]*list.Element
+	inflight map[K]*Flight[V]
+
+	hits, joins, misses, evictions int64
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key   K
+	v     V
+	bytes int64
+}
+
+// Flight is a pending or resolved cache computation. Wait blocks until
+// the value is available and returns it; every joiner of the same flight
+// gets the same value and error.
+type Flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+	// Hit reports that the value came straight from the cache, with no
+	// compute scheduled by anyone.
+	Hit bool
+}
+
+// Wait blocks until the flight resolves.
+func (f *Flight[V]) Wait() (V, error) {
+	<-f.done
+	return f.v, f.err
+}
+
+// NewCache returns a cache bounded to maxBytes of cached values, as
+// measured by size (which should include a fixed per-entry overhead
+// estimate). maxBytes <= 0 selects 64 MiB.
+func NewCache[K comparable, V any](maxBytes int64, size func(V) int64) *Cache[K, V] {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache[K, V]{
+		maxBytes: maxBytes,
+		size:     size,
+		ll:       list.New(),
+		entries:  make(map[K]*list.Element),
+		inflight: make(map[K]*Flight[V]),
+	}
+}
+
+// Resolve returns a Flight for key. On a miss it calls schedule with the
+// closure that performs and publishes the computation; schedule must
+// either arrange for the closure to run eventually and return nil, or
+// return an error (e.g. ErrOverloaded) without running it — in which case
+// the miss is rolled back and the error is returned. compute errors are
+// not cached: they resolve the current flight (shared by its joiners) and
+// the next Resolve starts fresh.
+func (c *Cache[K, V]) Resolve(key K, schedule func(run func()) error, compute func() (V, error)) (*Flight[V], error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*cacheEntry[K, V])
+		c.mu.Unlock()
+		return &Flight[V]{done: closedChan, v: ent.v, Hit: true}, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.joins++
+		c.mu.Unlock()
+		return fl, nil
+	}
+	fl := &Flight[V]{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	run := func() {
+		v, err := compute()
+		fl.v, fl.err = v, err
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.add(key, v)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}
+	if err := schedule(run); err != nil {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.misses--
+		c.mu.Unlock()
+		// Joiners may already hold fl: resolve it with the scheduling
+		// error so their Wait returns instead of blocking forever.
+		fl.err = err
+		close(fl.done)
+		return nil, err
+	}
+	return fl, nil
+}
+
+// add inserts a computed value and evicts from the LRU tail until the
+// byte bound holds again. Called with c.mu held.
+func (c *Cache[K, V]) add(key K, v V) {
+	if _, ok := c.entries[key]; ok {
+		return // a racing insert won; keep it
+	}
+	ent := &cacheEntry[K, V]{key: key, v: v, bytes: c.size(v)}
+	c.entries[key] = c.ll.PushFront(ent)
+	c.curBytes += ent.bytes
+	for c.curBytes > c.maxBytes && c.ll.Len() > 1 {
+		tail := c.ll.Back()
+		old := tail.Value.(*cacheEntry[K, V])
+		c.ll.Remove(tail)
+		delete(c.entries, old.key)
+		c.curBytes -= old.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is an instrumentation snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Joins     int64 `json:"joins"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// HitRate returns the fraction of lookups served without a new
+// computation (hits + joins over all lookups).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Joins + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Joins) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Joins: c.joins, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Bytes: c.curBytes, MaxBytes: c.maxBytes,
+	}
+}
+
+// closedChan is the pre-resolved done channel shared by every cache hit.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()

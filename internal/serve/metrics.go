@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"neummu/internal/stats"
+)
+
+// metrics aggregates the service's operational counters. Latencies are
+// recorded in milliseconds through internal/stats' windowed recorder;
+// everything else is a plain atomic counter so the hot path never takes
+// a lock.
+type metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // HTTP requests accepted (any endpoint)
+	overloads atomic.Int64 // requests rejected with 429
+
+	cellsServed atomic.Int64 // sweep/sim cells streamed to clients
+	simulated   atomic.Int64 // cell simulations actually executed
+	figsServed  atomic.Int64 // figure bodies streamed
+	figsBuilt   atomic.Int64 // figure renders actually executed
+
+	sweepLatency  *stats.Latency
+	figureLatency *stats.Latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:         time.Now(),
+		sweepLatency:  stats.NewLatency(0),
+		figureLatency: stats.NewLatency(0),
+	}
+}
+
+// latencyJSON is the wire form of a stats.LatencySummary.
+type latencyJSON struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func toLatencyJSON(s stats.LatencySummary) latencyJSON {
+	return latencyJSON{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// Metrics is the /metrics response: queue and cache state, throughput,
+// and request latency percentiles.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Requests  int64   `json:"requests"`
+	Overloads int64   `json:"overloads"`
+
+	QueueDepth int `json:"queue_depth"`
+	Workers    int `json:"workers"`
+	Shards     int `json:"shards"`
+
+	CellsServed     int64   `json:"cells_served"`
+	CellsSimulated  int64   `json:"cells_simulated"`
+	CellsPerSec     float64 `json:"cells_per_sec"`
+	SimulatedPerSec float64 `json:"simulated_per_sec"`
+
+	CellCache     CacheStats `json:"cell_cache"`
+	CellHitRate   float64    `json:"cell_cache_hit_rate"`
+	FigureCache   CacheStats `json:"figure_cache"`
+	FiguresServed int64      `json:"figures_served"`
+	FiguresBuilt  int64      `json:"figures_built"`
+
+	SweepLatencyMS  latencyJSON `json:"sweep_latency_ms"`
+	FigureLatencyMS latencyJSON `json:"figure_latency_ms"`
+}
+
+func (s *Server) snapshot() Metrics {
+	m := s.metrics
+	up := time.Since(m.start).Seconds()
+	cells := m.cellsServed.Load()
+	simulated := m.simulated.Load()
+	cellStats := s.cells.Stats()
+	out := Metrics{
+		UptimeSec: up,
+		Requests:  m.requests.Load(),
+		Overloads: m.overloads.Load(),
+
+		QueueDepth: s.sched.QueueDepth(),
+		Workers:    s.sched.Workers(),
+		Shards:     s.sched.Shards(),
+
+		CellsServed:    cells,
+		CellsSimulated: simulated,
+
+		CellCache:     cellStats,
+		CellHitRate:   cellStats.HitRate(),
+		FigureCache:   s.figs.Stats(),
+		FiguresServed: m.figsServed.Load(),
+		FiguresBuilt:  m.figsBuilt.Load(),
+
+		SweepLatencyMS:  toLatencyJSON(m.sweepLatency.Summary()),
+		FigureLatencyMS: toLatencyJSON(m.figureLatency.Summary()),
+	}
+	if up > 0 {
+		out.CellsPerSec = float64(cells) / up
+		out.SimulatedPerSec = float64(simulated) / up
+	}
+	return out
+}

@@ -1,0 +1,562 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"neummu/internal/core"
+	"neummu/internal/exp"
+	"neummu/internal/figures"
+)
+
+// --- scheduler ---
+
+func TestSchedulerRunsJobs(t *testing.T) {
+	s := NewScheduler(2, 4, 32)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		if err := s.Submit(uint64(i), func() {
+			defer wg.Done()
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if len(seen) != 32 {
+		t.Errorf("ran %d jobs, want 32", len(seen))
+	}
+	s.Close()
+	if err := s.Submit(0, func() {}); err != ErrClosed {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSchedulerOverload(t *testing.T) {
+	s := NewScheduler(1, 1, 1)
+	block := make(chan struct{})
+	// Saturate: the worker parks on the first job, the queue holds one
+	// more, and the next submit must be rejected.
+	n := 0
+	for {
+		err := s.Submit(0, func() { <-block })
+		if err == ErrOverloaded {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 8 {
+			t.Fatal("scheduler never reported overload")
+		}
+	}
+	close(block)
+	s.Close() // must drain the parked jobs without deadlock
+}
+
+func TestSchedulerNormalization(t *testing.T) {
+	s := NewScheduler(8, 2, 0) // shards capped at workers
+	if s.Shards() != 2 || s.Workers() != 2 {
+		t.Errorf("shards=%d workers=%d, want 2/2", s.Shards(), s.Workers())
+	}
+	s.Close()
+}
+
+// --- cache ---
+
+func inline(run func()) error {
+	run()
+	return nil
+}
+
+func TestCacheHitJoinMiss(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	computes := 0
+	fl, err := c.Resolve(1, inline, func() (int, error) { computes++; return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fl.Wait(); v != 10 || fl.Hit {
+		t.Errorf("first resolve: v=%d hit=%v", v, fl.Hit)
+	}
+	fl, _ = c.Resolve(1, inline, func() (int, error) { computes++; return 99, nil })
+	if v, _ := fl.Wait(); v != 10 || !fl.Hit {
+		t.Errorf("second resolve: v=%d hit=%v, want cached 10", v, fl.Hit)
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Joins != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheJoinSharesOneCompute(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes int
+	// First resolver schedules onto a goroutine that parks until released.
+	fl1, err := c.Resolve(7, func(run func()) error {
+		go func() { close(started); <-release; run() }()
+		return nil
+	}, func() (int, error) { computes++; return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Second resolver must join the in-flight computation, not start one.
+	fl2, err := c.Resolve(7, func(run func()) error {
+		t.Error("join scheduled a second compute")
+		run()
+		return nil
+	}, func() (int, error) { computes++; return 43, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	v1, _ := fl1.Wait()
+	v2, _ := fl2.Wait()
+	if v1 != 42 || v2 != 42 || computes != 1 {
+		t.Errorf("v1=%d v2=%d computes=%d, want shared 42", v1, v2, computes)
+	}
+	if st := c.Stats(); st.Joins != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache[int, int](128, func(int) int64 { return 64 })
+	for k := 0; k < 4; k++ {
+		fl, _ := c.Resolve(k, inline, func() (int, error) { return k, nil })
+		fl.Wait()
+	}
+	st := c.Stats()
+	if st.Evictions != 2 || st.Entries != 2 || st.Bytes != 128 {
+		t.Errorf("stats after overflow = %+v, want 2 evictions, 2 entries", st)
+	}
+	// Key 0 was evicted: resolving it again must recompute.
+	computes := 0
+	fl, _ := c.Resolve(0, inline, func() (int, error) { computes++; return 0, nil })
+	fl.Wait()
+	if computes != 1 {
+		t.Error("evicted key served from cache")
+	}
+	// Key 3 is still resident.
+	fl, _ = c.Resolve(3, inline, func() (int, error) { t.Error("resident key recomputed"); return 0, nil })
+	if _, err := fl.Wait(); err != nil || !fl.Hit {
+		t.Error("resident key missed")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	fl, _ := c.Resolve(1, inline, func() (int, error) { return 0, fmt.Errorf("boom") })
+	if _, err := fl.Wait(); err == nil {
+		t.Fatal("error lost")
+	}
+	fl, _ = c.Resolve(1, inline, func() (int, error) { return 5, nil })
+	if v, err := fl.Wait(); err != nil || v != 5 {
+		t.Errorf("retry after error: v=%d err=%v", v, err)
+	}
+}
+
+func TestCacheScheduleRejectionRollsBack(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	_, err := c.Resolve(1, func(func()) error { return ErrOverloaded }, func() (int, error) { return 1, nil })
+	if err != ErrOverloaded {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	// The rolled-back key must be resolvable afresh.
+	fl, err := c.Resolve(1, inline, func() (int, error) { return 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fl.Wait(); v != 2 {
+		t.Errorf("v = %d", v)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("rolled-back miss still counted: %+v", st)
+	}
+}
+
+// TestCacheScheduleRejectionResolvesJoiners: a joiner that attached to an
+// in-flight entry whose scheduling is then rejected must get the error,
+// not block forever on a flight nobody will run.
+func TestCacheScheduleRejectionResolvesJoiners(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	joined := make(chan *Flight[int], 1)
+	_, err := c.Resolve(1, func(func()) error {
+		// While the owner is between registering the flight and having its
+		// schedule rejected, a second resolver joins.
+		fl, err := c.Resolve(1, func(func()) error {
+			t.Error("joiner scheduled its own compute")
+			return nil
+		}, func() (int, error) { return 99, nil })
+		if err != nil {
+			t.Errorf("joiner Resolve: %v", err)
+		}
+		joined <- fl
+		return ErrOverloaded
+	}, func() (int, error) { return 1, nil })
+	if err != ErrOverloaded {
+		t.Fatalf("owner err = %v, want ErrOverloaded", err)
+	}
+	fl := <-joined
+	if _, err := fl.Wait(); err != ErrOverloaded {
+		t.Errorf("joiner Wait err = %v, want ErrOverloaded", err)
+	}
+}
+
+// --- HTTP service ---
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHealthzAndFigureList(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts, "/v1/figures")
+	if resp.StatusCode != 200 {
+		t.Fatalf("figure list = %d", resp.StatusCode)
+	}
+	var list []figureInfo
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(figures.Registry()) {
+		t.Errorf("listed %d figures, want %d", len(list), len(figures.Registry()))
+	}
+}
+
+// TestFigureByteIdenticalColdAndWarm is the service's core guarantee: the
+// figure body equals the offline renderer's bytes on a cold cache (miss)
+// and stays byte-identical on a warm one (hit).
+func TestFigureByteIdenticalColdAndWarm(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	h := exp.New(exp.Options{Quick: true})
+	var want bytes.Buffer
+	if err := figures.Render(h, &want, "fig8"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, cold := get(t, ts, "/v1/figures/fig8?quick=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("cold status = %d: %s", resp.StatusCode, cold)
+	}
+	if resp.Header.Get("X-Neuserve-Cache") != "miss" {
+		t.Errorf("cold cache header = %q, want miss", resp.Header.Get("X-Neuserve-Cache"))
+	}
+	if !bytes.Equal(cold, want.Bytes()) {
+		t.Errorf("cold body differs from offline render:\n got: %q\nwant: %q", cold, want.Bytes())
+	}
+
+	resp, warm := get(t, ts, "/v1/figures/fig8?quick=1")
+	if resp.Header.Get("X-Neuserve-Cache") != "hit" {
+		t.Errorf("warm cache header = %q, want hit", resp.Header.Get("X-Neuserve-Cache"))
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Error("warm body differs from cold body")
+	}
+	if built := s.Metrics().FiguresBuilt; built != 1 {
+		t.Errorf("figures built = %d, want 1 (warm path must not re-render)", built)
+	}
+}
+
+func TestFigureUnknown404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := get(t, ts, "/v1/figures/fig99")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "fig8") {
+		t.Errorf("404 body does not list valid figures: %q", body)
+	}
+}
+
+const quickSweep = `{"quick":true,"models":["CNN-1","RNN-1"],"batches":[4],"mmus":["neummu","iommu"]}`
+
+// TestSweepDeterministicColdAndWarm: a sweep body must be byte-identical
+// across a cold (all misses) and warm (all hits) cache, each unique cell
+// must simulate exactly once, and the stream must end with the summary.
+func TestSweepDeterministicColdAndWarm(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	resp, cold := post(t, ts, "/v1/sweep", quickSweep)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cold status = %d: %s", resp.StatusCode, cold)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(cold), "\n"), "\n")
+	if len(lines) != 5 { // 4 cells + summary
+		t.Fatalf("got %d NDJSON lines, want 5: %q", len(lines), cold)
+	}
+	var row CellRow
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Model != "CNN-1" || row.Cycles <= 0 {
+		t.Errorf("first row = %+v", row)
+	}
+	var sum SweepSummary
+	if err := json.Unmarshal([]byte(lines[4]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Summary || sum.Cells != 4 || sum.AvgNormalizedPerf <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sim := s.Metrics().CellsSimulated; sim != 4 {
+		t.Errorf("cold sweep simulated %d cells, want 4", sim)
+	}
+
+	resp, warm := post(t, ts, "/v1/sweep", quickSweep)
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm status = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm body differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if got := resp.Header.Get("X-Neuserve-Cache"); got != "hits=4 misses=0" {
+		t.Errorf("warm cache header = %q", got)
+	}
+	if sim := s.Metrics().CellsSimulated; sim != 4 {
+		t.Errorf("warm sweep re-simulated: %d cells total, want 4", sim)
+	}
+}
+
+// TestSweepMatchesSerialReference: the served rows must agree with the
+// offline sweep engine's results for the identical design points — the
+// service is a transport, never a different simulator.
+func TestSweepMatchesSerialReference(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	_, body := post(t, ts, "/v1/sweep", quickSweep)
+	h := exp.New(exp.Options{Quick: true, Workers: 1})
+	rows, err := h.Sweep(exp.Axes{
+		Kinds:  []core.Kind{core.NeuMMU, core.IOMMU},
+		Models: []string{"CNN-1", "RNN-1"}, Batches: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("%d lines vs %d reference rows", len(lines), len(rows))
+	}
+	for i, ref := range rows {
+		var row CellRow
+		if err := json.Unmarshal([]byte(lines[i]), &row); err != nil {
+			t.Fatal(err)
+		}
+		if row.Model != ref.Point.Model || row.Batch != ref.Point.Batch ||
+			row.MMU != ref.Point.Kind.String() ||
+			row.Cycles != int64(ref.Result.Cycles) || row.NormalizedPerf != ref.Perf {
+			t.Errorf("row %d = %+v, reference %s perf=%v cycles=%d",
+				i, row, ref.Point.Label(), ref.Perf, ref.Result.Cycles)
+		}
+	}
+}
+
+// TestConcurrentOverlappingSweeps is the load test of the acceptance
+// criteria: 32 in-flight requests with overlapping cells stay race-clean
+// (run under -race in CI), every unique cell simulates exactly once, and
+// equal requests get byte-identical bodies.
+func TestConcurrentOverlappingSweeps(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, Shards: 4, QueueDepth: 1024})
+	reqs := []string{
+		quickSweep,
+		`{"quick":true,"models":["CNN-1"],"batches":[4],"mmus":["neummu","iommu"]}`,
+		`{"quick":true,"models":["RNN-1"],"batches":[4],"mmus":["iommu"]}`,
+		`{"quick":true,"models":["CNN-1","RNN-1"],"batches":[4],"mmus":["neummu"]}`,
+	}
+	// Unique cells across all requests: {CNN-1,RNN-1} x b4 x {neummu,iommu}.
+	const uniqueCells = 4
+	const inflight = 32
+	bodies := make([][]byte, inflight)
+	status := make([]int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json",
+				strings.NewReader(reqs[i%len(reqs)]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			bodies[i] = buf.Bytes()
+			status[i] = resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	for i := range status {
+		if status[i] != 200 {
+			t.Fatalf("request %d: status %d: %s", i, status[i], bodies[i])
+		}
+	}
+	for i := range bodies {
+		if j := i % len(reqs); !bytes.Equal(bodies[i], bodies[j]) {
+			t.Errorf("request %d body differs from request %d (same payload)", i, j)
+		}
+	}
+	m := s.Metrics()
+	if m.CellsSimulated != uniqueCells {
+		t.Errorf("simulated %d cells, want exactly %d (dedup across overlapping requests)",
+			m.CellsSimulated, uniqueCells)
+	}
+	if st := m.CellCache; st.Hits+st.Joins+st.Misses == 0 || st.Misses != uniqueCells {
+		t.Errorf("cell cache stats = %+v, want %d misses", st, uniqueCells)
+	}
+}
+
+// TestOverloadReturns429: with the scheduler saturated, a sweep must be
+// rejected with 429 at admission — never queued without bound.
+func TestOverloadReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Shards: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	defer close(block)
+	for {
+		if err := s.sched.Submit(0, func() { <-block }); err != nil {
+			break // worker parked + queue full
+		}
+	}
+	resp, body := post(t, ts, "/v1/sweep", quickSweep)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if s.Metrics().Overloads == 0 {
+		t.Error("overload not counted")
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxCellsPerRequest: 2})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{not json`, 400},
+		{`{"mmus":["tpu"]}`, 400},
+		{`{"page_sizes":["1GB"]}`, 400},
+		{`{"models":["VGG-99"]}`, 400},
+		{`{"batches":[0]}`, 400},
+		{`{"mmus":["custom"],"ptws":[0]}`, 400},
+		{`{"mmus":["custom"],"ptws":[-8]}`, 400},
+		{`{"mmus":["custom"],"prmb_slots":[-1]}`, 400},
+		{`{"unknown_field":1}`, 400},
+		{`{"quick":true,"models":["CNN-1","RNN-1"],"batches":[1,4]}`, 400}, // 4 cells > cap 2
+	}
+	for _, c := range cases {
+		resp, _ := post(t, ts, "/v1/sweep", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestSimEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"quick":true,"models":["CNN-1"],"batches":[4],"mmus":["iommu"]}`
+	resp, cold := post(t, ts, "/v1/sim", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, cold)
+	}
+	var row CellRow
+	if err := json.Unmarshal(cold, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Model != "CNN-1" || row.MMU != "iommu" || row.Cycles <= 0 || row.NormalizedPerf <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	resp, warm := post(t, ts, "/v1/sim", req)
+	if !bytes.Equal(cold, warm) {
+		t.Error("sim response not deterministic across cache states")
+	}
+	if resp.Header.Get("X-Neuserve-Cache") != "hit" {
+		t.Errorf("warm sim cache header = %q", resp.Header.Get("X-Neuserve-Cache"))
+	}
+	// A grid-shaped payload must be rejected.
+	resp, _ = post(t, ts, "/v1/sim", quickSweep)
+	if resp.StatusCode != 400 {
+		t.Errorf("grid sim status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	post(t, ts, "/v1/sweep", quickSweep)
+	get(t, ts, "/v1/figures/table1")
+	get(t, ts, "/v1/figures/table1")
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CellsServed != 4 || m.CellsSimulated != 4 || m.Workers != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.SweepLatencyMS.Count != 1 || m.SweepLatencyMS.P50 <= 0 {
+		t.Errorf("sweep latency = %+v", m.SweepLatencyMS)
+	}
+	if m.CellCache.Misses != 4 {
+		t.Errorf("cell cache = %+v", m.CellCache)
+	}
+	if m.FiguresServed != 2 || m.FiguresBuilt != 1 {
+		t.Errorf("figures served/built = %d/%d, want 2/1", m.FiguresServed, m.FiguresBuilt)
+	}
+}

@@ -1,0 +1,571 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON front
+// end over the experiment harness (internal/exp) and the shared figure
+// registry (internal/figures), with a sharded job scheduler and a
+// content-addressed result cache between the two.
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness probe
+//	GET  /metrics             queue depth, cache hit rates, cells/sec,
+//	                          latency percentiles (JSON)
+//	GET  /v1/figures          the figure registry (name + title, JSON)
+//	GET  /v1/figures/{name}   one rendered figure; the body is
+//	                          byte-identical to `paperfigs -fig name`
+//	POST /v1/sweep            a design-space sweep; streams one NDJSON row
+//	                          per cell in grid order plus a summary line
+//	POST /v1/sim              a single simulation cell (JSON object)
+//
+// Determinism guarantee: the response body for a given request payload is
+// byte-identical across repetitions, cache hits, cache misses, worker
+// counts, and concurrent load — rows stream in the same deterministic
+// grid order as the offline CLI, and cache state can only change timing
+// (and the X-Neuserve-Cache header), never bytes. Admission control is a
+// bounded per-shard queue: when it is full the service answers 429 rather
+// than queueing without bound.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"neummu/internal/core"
+	"neummu/internal/exp"
+	"neummu/internal/figures"
+	"neummu/internal/vm"
+	"neummu/internal/workloads"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the total simulation-worker budget across all scheduler
+	// shards (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the scheduler shard count (0 = 4, capped at Workers).
+	Shards int
+	// QueueDepth bounds each shard's pending-job queue (0 = 256). A full
+	// queue rejects new requests with 429.
+	QueueDepth int
+	// CacheBytes bounds the per-cell result cache (0 = 64 MiB).
+	CacheBytes int64
+	// FigureCacheBytes bounds the rendered-figure cache (0 = 16 MiB).
+	FigureCacheBytes int64
+	// MaxCellsPerRequest bounds one sweep request's grid (0 = 4096).
+	MaxCellsPerRequest int
+}
+
+func (c Config) normalized() Config {
+	if c.MaxCellsPerRequest <= 0 {
+		c.MaxCellsPerRequest = 4096
+	}
+	if c.FigureCacheBytes <= 0 {
+		c.FigureCacheBytes = 16 << 20
+	}
+	return c
+}
+
+// effortKey identifies a harness configuration: the effort knobs a request
+// may set. Harnesses are memoized per effort so all requests at one effort
+// share plan/snapshot/oracle caches.
+type effortKey struct {
+	quick     bool
+	repeatCap int
+	tileCap   int
+}
+
+// cellKey content-addresses one simulation cell: the full design Point
+// plus the normalized effort caps that shape its schedule. Everything that
+// influences the result is in the key; nothing else is.
+type cellKey struct {
+	point     exp.Point
+	repeatCap int
+	tileCap   int
+}
+
+// cellValue is the cached result of one cell — just the scalars the wire
+// rows need, so a cache entry costs tens of bytes, not a full npu.Result.
+type cellValue struct {
+	Cycles       int64
+	Translations int64
+	Perf         float64
+}
+
+// cellEntryCost estimates a cell cache entry's footprint: the value, the
+// key, and the map/list bookkeeping around them.
+const cellEntryCost = 256
+
+// figKey content-addresses one rendered figure body.
+type figKey struct {
+	name    string
+	quick   bool
+	repeat  int
+	tileCap int
+}
+
+// Server is the simulation service. Create with New, mount as an
+// http.Handler, and Close when done (after the HTTP server has drained).
+type Server struct {
+	cfg     Config
+	sched   *Scheduler
+	cells   *Cache[cellKey, cellValue]
+	figs    *Cache[figKey, []byte]
+	seed    maphash.Seed
+	metrics *metrics
+	mux     *http.ServeMux
+
+	mu        sync.Mutex
+	harnesses map[effortKey]*exp.Harness
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:   cfg,
+		sched: NewScheduler(cfg.Shards, cfg.Workers, cfg.QueueDepth),
+		cells: NewCache[cellKey, cellValue](cfg.CacheBytes,
+			func(cellValue) int64 { return cellEntryCost }),
+		figs: NewCache[figKey, []byte](cfg.FigureCacheBytes,
+			func(b []byte) int64 { return int64(len(b)) + 128 }),
+		seed:      maphash.MakeSeed(),
+		metrics:   newMetrics(),
+		harnesses: make(map[effortKey]*exp.Harness),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/figures", s.handleFigureList)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the scheduler after letting queued jobs drain. Call it
+// after the HTTP server has shut down, so no request is left waiting on a
+// job the scheduler will never run.
+func (s *Server) Close() { s.sched.Close() }
+
+// Metrics snapshots the service's operational state (the /metrics body).
+func (s *Server) Metrics() Metrics { return s.snapshot() }
+
+// harness returns the memoized harness for an effort level. The harness's
+// own pool (used by figure studies) shares the server's worker budget.
+func (s *Server) harness(e effortKey) *exp.Harness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.harnesses[e]
+	if !ok {
+		h = exp.New(exp.Options{
+			Quick: e.quick, RepeatCap: e.repeatCap, TileCap: e.tileCap,
+			Workers: s.cfg.Workers,
+		})
+		s.harnesses[e] = h
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}
+
+// figureInfo is one row of the GET /v1/figures listing.
+type figureInfo struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleFigureList(w http.ResponseWriter, _ *http.Request) {
+	reg := figures.Registry()
+	out := make([]figureInfo, len(reg))
+	for i, f := range reg {
+		out[i] = figureInfo{Name: f.Name, Title: f.Title}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// parseEffort reads the quick/repeat_cap/tile_cap query parameters shared
+// by the figure endpoint.
+func parseEffort(r *http.Request) (effortKey, error) {
+	var e effortKey
+	q := r.URL.Query()
+	if v := q.Get("quick"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return e, fmt.Errorf("bad quick value %q", v)
+		}
+		e.quick = b
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"repeat_cap", &e.repeatCap}, {"tile_cap", &e.tileCap}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return e, fmt.Errorf("bad %s value %q", p.name, v)
+			}
+			*p.dst = n
+		}
+	}
+	return e, nil
+}
+
+// handleFigure renders one figure. The response body is byte-identical to
+// `paperfigs -fig {name}` at the same effort flags, cold cache or warm —
+// both render through the shared internal/figures registry, and the cache
+// stores the rendered bytes verbatim.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	if _, ok := figures.ByName(name); !ok {
+		http.Error(w, figures.UnknownNameError(name).Error(), http.StatusNotFound)
+		return
+	}
+	e, err := parseEffort(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h := s.harness(e)
+	opts := h.Options()
+	key := figKey{name: name, quick: e.quick, repeat: opts.RepeatCap, tileCap: opts.TileCap}
+	hash := maphash.Comparable(s.seed, key)
+	fl, err := s.figs.Resolve(key,
+		func(run func()) error { return s.sched.Submit(hash, run) },
+		func() ([]byte, error) {
+			s.metrics.figsBuilt.Add(1)
+			var buf bytes.Buffer
+			if err := figures.Render(h, &buf, name); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	setCacheHeader(w, fl.Hit)
+	body, err := fl.Wait()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(body)
+	s.metrics.figsServed.Add(1)
+	s.metrics.figureLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// SweepRequest is the POST /v1/sweep (and, restricted to scalars,
+// POST /v1/sim) payload. Unset axes take the engine defaults documented
+// on exp.Axes; unset models/batches take the harness suite at the chosen
+// effort. MMU kinds are oracle, iommu, neummu, or custom; page sizes are
+// 4KB or 2MB.
+type SweepRequest struct {
+	Models     []string `json:"models,omitempty"`
+	Batches    []int    `json:"batches,omitempty"`
+	MMUs       []string `json:"mmus,omitempty"`
+	PageSizes  []string `json:"page_sizes,omitempty"`
+	PTWs       []int    `json:"ptws,omitempty"`
+	PRMBSlots  []int    `json:"prmb_slots,omitempty"`
+	TLBEntries []int    `json:"tlb_entries,omitempty"`
+
+	// Effort: Quick shrinks default grids and caps for smoke use;
+	// RepeatCap/TileCap truncate schedules (0 = harness default, matching
+	// paperfigs; -1 = simulate everything).
+	Quick     bool `json:"quick,omitempty"`
+	RepeatCap int  `json:"repeat_cap,omitempty"`
+	TileCap   int  `json:"tile_cap,omitempty"`
+}
+
+// CellRow is one NDJSON row of a sweep response (and the whole /v1/sim
+// response).
+type CellRow struct {
+	Model          string  `json:"model"`
+	Batch          int     `json:"batch"`
+	MMU            string  `json:"mmu"`
+	PageSize       string  `json:"page_size"`
+	Cycles         int64   `json:"cycles"`
+	Translations   int64   `json:"translations"`
+	NormalizedPerf float64 `json:"normalized_perf"`
+}
+
+// SweepSummary is the final NDJSON line of a sweep response.
+type SweepSummary struct {
+	Summary           bool    `json:"summary"`
+	Cells             int     `json:"cells"`
+	AvgNormalizedPerf float64 `json:"avg_normalized_perf"`
+}
+
+func parseKinds(names []string) ([]core.Kind, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	kinds := make([]core.Kind, len(names))
+	for i, n := range names {
+		switch n {
+		case "oracle":
+			kinds[i] = core.Oracle
+		case "iommu":
+			kinds[i] = core.IOMMU
+		case "neummu":
+			kinds[i] = core.NeuMMU
+		case "custom":
+			kinds[i] = core.Custom
+		default:
+			return nil, fmt.Errorf("unknown MMU kind %q (have oracle, iommu, neummu, custom)", n)
+		}
+	}
+	return kinds, nil
+}
+
+func parsePageSizes(names []string) ([]vm.PageSize, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sizes := make([]vm.PageSize, len(names))
+	for i, n := range names {
+		switch n {
+		case "4KB", "4K", "4k":
+			sizes[i] = vm.Page4K
+		case "2MB", "2M", "2m":
+			sizes[i] = vm.Page2M
+		default:
+			return nil, fmt.Errorf("unknown page size %q (have 4KB, 2MB)", n)
+		}
+	}
+	return sizes, nil
+}
+
+// expand validates the request and turns it into its deterministic point
+// grid plus the harness that will run it.
+func (s *Server) expand(req SweepRequest) (*exp.Harness, []exp.Point, error) {
+	kinds, err := parseKinds(req.MMUs)
+	if err != nil {
+		return nil, nil, err
+	}
+	sizes, err := parsePageSizes(req.PageSizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, m := range req.Models {
+		if _, err := workloads.ByName(m); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, b := range req.Batches {
+		if b <= 0 {
+			return nil, nil, fmt.Errorf("bad batch size %d", b)
+		}
+	}
+	for _, n := range req.TLBEntries {
+		if n < 0 {
+			return nil, nil, fmt.Errorf("bad tlb_entries %d", n)
+		}
+	}
+	// The walker silently normalizes non-positive counts to its baseline;
+	// reject them here so a bogus axis value cannot be simulated under —
+	// and cached against — a label it does not mean.
+	for _, n := range req.PTWs {
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("bad ptws %d (must be positive)", n)
+		}
+	}
+	for _, n := range req.PRMBSlots {
+		if n < 0 {
+			return nil, nil, fmt.Errorf("bad prmb_slots %d (0 disables merging)", n)
+		}
+	}
+	h := s.harness(effortKey{quick: req.Quick, repeatCap: req.RepeatCap, tileCap: req.TileCap})
+	points := h.Points(exp.Axes{
+		Kinds: kinds, PageSizes: sizes,
+		Models: req.Models, Batches: req.Batches,
+		PTWs: req.PTWs, PRMBSlots: req.PRMBSlots, TLBEntries: req.TLBEntries,
+	})
+	if len(points) > s.cfg.MaxCellsPerRequest {
+		return nil, nil, fmt.Errorf("sweep expands to %d cells, above the per-request bound of %d",
+			len(points), s.cfg.MaxCellsPerRequest)
+	}
+	return h, points, nil
+}
+
+// resolveCells schedules every point through the cell cache, deduplicating
+// against cached, in-flight, and same-request work, and returns the
+// flights in grid order. hits counts cells answered straight from cache.
+func (s *Server) resolveCells(h *exp.Harness, points []exp.Point) (flights []*Flight[cellValue], hits int, err error) {
+	opts := h.Options()
+	flights = make([]*Flight[cellValue], len(points))
+	for i, p := range points {
+		key := cellKey{point: p, repeatCap: opts.RepeatCap, tileCap: opts.TileCap}
+		hash := maphash.Comparable(s.seed, key)
+		fl, err := s.cells.Resolve(key,
+			func(run func()) error { return s.sched.Submit(hash, run) },
+			func() (cellValue, error) {
+				s.metrics.simulated.Add(1)
+				perf, res, err := h.NormPerf(p.Model, p.Batch, p.MMU())
+				if err != nil {
+					return cellValue{}, fmt.Errorf("%s: %w", p.Label(), err)
+				}
+				return cellValue{
+					Cycles:       int64(res.Cycles),
+					Translations: res.Translations,
+					Perf:         perf,
+				}, nil
+			})
+		if err != nil {
+			return nil, 0, err
+		}
+		if fl.Hit {
+			hits++
+		}
+		flights[i] = fl
+	}
+	return flights, hits, nil
+}
+
+// reject maps scheduler admission errors to 429 and anything else to 500.
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed) {
+		s.metrics.overloads.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded: job queue full", http.StatusTooManyRequests)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func setCacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Neuserve-Cache", "hit")
+	} else {
+		w.Header().Set("X-Neuserve-Cache", "miss")
+	}
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func rowFor(p exp.Point, v cellValue) CellRow {
+	return CellRow{
+		Model: p.Model, Batch: p.Batch,
+		MMU: p.Kind.String(), PageSize: p.PageSize.String(),
+		Cycles: v.Cycles, Translations: v.Translations, NormalizedPerf: v.Perf,
+	}
+}
+
+// handleSweep streams one NDJSON row per cell, in grid order, then a
+// summary line. Rows are written as their cells resolve in order, so a
+// client consumes early cells while later ones still simulate; the bytes
+// are identical whether every cell was a cache hit, a miss, or a mix.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	h, points, err := s.expand(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flights, hits, err := s.resolveCells(h, points)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
+	w.Header().Set("X-Neuserve-Cache",
+		fmt.Sprintf("hits=%d misses=%d", hits, len(points)-hits))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sum := 0.0
+	for i, fl := range flights {
+		v, err := fl.Wait()
+		if err != nil {
+			// The stream is already committed; emit a terminal error line.
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		sum += v.Perf
+		enc.Encode(rowFor(points[i], v))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(SweepSummary{
+		Summary: true, Cells: len(points),
+		AvgNormalizedPerf: sum / float64(len(points)),
+	})
+	s.metrics.cellsServed.Add(int64(len(points)))
+	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// handleSim runs a single cell and returns one JSON object. It is the
+// one-point restriction of handleSweep, sharing its cache and scheduler.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	h, points, err := s.expand(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(points) != 1 {
+		http.Error(w, fmt.Sprintf("sim requires exactly one cell, got %d (use /v1/sweep for grids)",
+			len(points)), http.StatusBadRequest)
+		return
+	}
+	flights, hits, err := s.resolveCells(h, points)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	setCacheHeader(w, hits == 1)
+	v, err := flights[0].Wait()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rowFor(points[0], v))
+	s.metrics.cellsServed.Add(1)
+	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestPercentileTable(t *testing.T) {
+	uniform100 := make([]float64, 100) // 1..100
+	for i := range uniform100 {
+		uniform100[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p99", []float64{}, 0.99, 0},
+		{"single sample p50", []float64{42}, 0.5, 42},
+		{"single sample p0", []float64{42}, 0, 42},
+		{"single sample p100", []float64{42}, 1, 42},
+		{"two samples p50", []float64{1, 2}, 0.5, 1},
+		{"two samples p95", []float64{1, 2}, 0.95, 2},
+		{"tied values p50", []float64{7, 7, 7, 7}, 0.5, 7},
+		{"tied values p99", []float64{7, 7, 7, 7}, 0.99, 7},
+		{"mostly tied p95", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}, 0.95, 100},
+		{"mostly tied p50", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}, 0.5, 1},
+		{"unsorted input p50", []float64{5, 1, 4, 2, 3}, 0.5, 3},
+		{"uniform 1..100 p50", uniform100, 0.50, 50},
+		{"uniform 1..100 p95", uniform100, 0.95, 95},
+		{"uniform 1..100 p99", uniform100, 0.99, 99},
+		{"uniform 1..100 p100", uniform100, 1, 100},
+		{"uniform 1..100 qmin", uniform100, 0, 1},
+		{"q below range", uniform100, -0.5, 1},
+		{"q above range", uniform100, 1.5, 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Percentile(c.samples, c.q); got != c.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", c.samples, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Percentile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentilesSingleSort(t *testing.T) {
+	got := Percentiles([]float64{4, 1, 3, 2}, 0.25, 0.5, 1)
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if z := Percentiles(nil, 0.5, 0.99); z[0] != 0 || z[1] != 0 {
+		t.Errorf("empty Percentiles = %v, want zeros", z)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	l := NewLatency(0) // default window
+	s := l.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+
+	l.Record(10)
+	s = l.Summary()
+	if s.Count != 1 || s.Mean != 10 || s.P50 != 10 || s.P95 != 10 || s.P99 != 10 || s.Max != 10 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+
+	// 1..1000: known percentiles under nearest-rank.
+	l = NewLatency(2048)
+	for i := 1; i <= 1000; i++ {
+		l.Record(float64(i))
+	}
+	s = l.Summary()
+	if s.Count != 1000 || s.P50 != 500 || s.P95 != 950 || s.P99 != 990 || s.Max != 1000 {
+		t.Errorf("uniform summary = %+v", s)
+	}
+	if math.Abs(s.Mean-500.5) > 1e-9 {
+		t.Errorf("mean = %v, want 500.5", s.Mean)
+	}
+}
+
+func TestLatencyWindowWraps(t *testing.T) {
+	l := NewLatency(4)
+	for _, v := range []float64{100, 100, 100, 1, 2, 3, 4} {
+		l.Record(v)
+	}
+	s := l.Summary()
+	// Window retains only {1,2,3,4}; count/mean/max cover everything.
+	if s.Count != 7 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 2 || s.P99 != 4 {
+		t.Errorf("windowed percentiles = %+v, want p50=2 p99=4", s)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record(1)
+				l.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := l.Summary(); s.Count != 8000 || s.P50 != 1 {
+		t.Errorf("concurrent summary = %+v", s)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
 	"neummu/internal/numa"
+	"neummu/internal/serve"
 	"neummu/internal/spatial"
 	"neummu/internal/systolic"
 	"neummu/internal/vm"
@@ -215,3 +216,19 @@ type SweepResult = exp.SweepResult
 func Sweep(axes SweepAxes, opts HarnessOptions) ([]SweepResult, error) {
 	return NewHarness(opts).Sweep(axes)
 }
+
+// Server is the simulation-as-a-service layer behind cmd/neuserve: an
+// http.Handler exposing sweep, single-simulation, figure, and metrics
+// endpoints over a sharded scheduler and a content-addressed result
+// cache. Embed it to serve NeuMMU studies from your own process; see
+// internal/serve for the endpoint list and the determinism guarantee
+// (same request ⇒ byte-identical body, cache hit or miss).
+type Server = serve.Server
+
+// ServerConfig tunes a Server: worker budget, scheduler shards, queue
+// bounds (admission control), and cache byte bounds.
+type ServerConfig = serve.Config
+
+// NewServer returns a simulation service ready to mount on any HTTP mux.
+// Call Close after the HTTP server has drained to stop the scheduler.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }

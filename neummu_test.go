@@ -1,6 +1,11 @@
 package neummu
 
-import "testing"
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
 
 func TestSimulateDense(t *testing.T) {
 	res, err := Simulate("CNN-1", 1, ThroughputNeuMMU, Options{TileCap: 4})
@@ -116,5 +121,43 @@ func TestSweepFacade(t *testing.T) {
 		if r.Result == nil || r.Result.Cycles <= 0 {
 			t.Fatalf("missing simulation result: %+v", r)
 		}
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	req := `{"quick":true,"models":["CNN-1"],"batches":[4],"mmus":["neummu"]}`
+	var bodies [2][]byte
+	for i := range bodies {
+		resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json",
+			strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("sweep = %d: %s", resp.StatusCode, buf.Bytes())
+		}
+		bodies[i] = buf.Bytes()
+	}
+	// The service determinism guarantee, exercised through the facade:
+	// cold (miss) and warm (hit) bodies are byte-identical.
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("cold and warm sweep bodies differ")
 	}
 }
