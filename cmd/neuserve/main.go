@@ -12,6 +12,19 @@
 //	neuserve -workers 4 -shards 2     # bound scheduler parallelism
 //	neuserve -queue 64 -cache-mb 128  # admission + cache bounds
 //
+// Scale-out: a fleet of neuserve processes can serve one sweep. Workers
+// are plain neuserve instances (-role worker is an explicit alias for the
+// default single-process mode; every instance speaks the cluster wire
+// protocol on POST /v1/cells). A coordinator accepts the same
+// POST /v1/sweep API, shards the grid across the fleet by consistent
+// hashing on the content-addressed cell key, and merges the streams back
+// byte-identical to a single process (see internal/cluster):
+//
+//	neuserve -addr :8081 &            # worker 1
+//	neuserve -addr :8082 &            # worker 2
+//	neuserve -role coordinator -addr :8080 \
+//	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
 // Quickstart against a running server:
 //
 //	curl localhost:8077/v1/figures                       # registry
@@ -33,15 +46,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"neummu/internal/cluster"
 	"neummu/internal/serve"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8077", "listen address")
+		role    = flag.String("role", "", "process role: '' or 'worker' (serve simulations), 'coordinator' (shard sweeps across -peers)")
 		workers = flag.Int("workers", 0, "total simulation workers (0 = all CPUs)")
 		shards  = flag.Int("shards", 0, "scheduler shards (0 = default, capped at workers)")
 		queue   = flag.Int("queue", 0, "per-shard job-queue bound; full queues answer 429 (0 = 256)")
@@ -49,22 +65,81 @@ func main() {
 		figMB   = flag.Int("fig-cache-mb", 0, "rendered-figure cache bound in MiB (0 = 16)")
 		cells   = flag.Int("max-cells", 0, "per-request sweep cell bound (0 = 4096)")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+
+		// Coordinator-role flags.
+		peers    = flag.String("peers", "", "coordinator: comma-separated worker base URLs")
+		replicas = flag.Int("replicas", 0, "coordinator: virtual nodes per worker on the hash ring (0 = 64)")
+		retries  = flag.Int("retries", 0, "coordinator: re-route attempts per cell after worker failures (0 = 2)")
+		shardTO  = flag.Duration("shard-timeout", 0, "coordinator: worker stream-inactivity bound before re-routing a shard (0 = 5m)")
+		healthIv = flag.Duration("health-interval", 0, "coordinator: worker /healthz probe period (0 = 2s)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Config{
-		Workers:            *workers,
-		Shards:             *shards,
-		QueueDepth:         *queue,
-		CacheBytes:         int64(*cacheMB) << 20,
-		FigureCacheBytes:   int64(*figMB) << 20,
-		MaxCellsPerRequest: *cells,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: s}
+	// Refuse flags that don't apply to the selected role: silently
+	// ignoring -peers on a worker (or -workers on a coordinator) leaves
+	// an operator with a process that looks configured but is not.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	coordOnly := []string{"peers", "replicas", "retries", "shard-timeout", "health-interval"}
+	workerOnly := []string{"workers", "shards", "queue", "cache-mb", "fig-cache-mb"}
+	misuse := func(names []string, why string) {
+		for _, n := range names {
+			if set[n] {
+				fmt.Fprintf(os.Stderr, "neuserve: -%s %s\n", n, why)
+				os.Exit(2)
+			}
+		}
+	}
+	if *role == "coordinator" {
+		misuse(workerOnly, "configures the simulation scheduler, which a coordinator does not run (drop it, or set it on the workers)")
+	} else {
+		misuse(coordOnly, fmt.Sprintf("requires -role coordinator (role is %q)", *role))
+	}
+
+	var handler http.Handler
+	var closeFn func()
+	switch *role {
+	case "", "worker":
+		s := serve.New(serve.Config{
+			Workers:            *workers,
+			Shards:             *shards,
+			QueueDepth:         *queue,
+			CacheBytes:         int64(*cacheMB) << 20,
+			FigureCacheBytes:   int64(*figMB) << 20,
+			MaxCellsPerRequest: *cells,
+		})
+		handler, closeFn = s, s.Close
+	case "coordinator":
+		if *peers == "" {
+			fmt.Fprintln(os.Stderr, "neuserve: -role coordinator requires -peers")
+			os.Exit(2)
+		}
+		c, err := cluster.New(cluster.Config{
+			Workers:            strings.Split(*peers, ","),
+			Replicas:           *replicas,
+			MaxRetries:         *retries,
+			ShardTimeout:       *shardTO,
+			HealthInterval:     *healthIv,
+			MaxCellsPerRequest: *cells,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neuserve:", err)
+			os.Exit(2)
+		}
+		handler, closeFn = c, c.Close
+	default:
+		fmt.Fprintf(os.Stderr, "neuserve: unknown -role %q (have worker, coordinator)\n", *role)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "neuserve: listening on %s\n", *addr)
+		if *role == "coordinator" {
+			fmt.Fprintf(os.Stderr, "neuserve: coordinator listening on %s (workers: %s)\n", *addr, *peers)
+		} else {
+			fmt.Fprintf(os.Stderr, "neuserve: listening on %s\n", *addr)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -75,7 +150,7 @@ func main() {
 		// ListenAndServe only returns on failure here (Shutdown is the
 		// other path, below).
 		fmt.Fprintln(os.Stderr, "neuserve:", err)
-		s.Close()
+		closeFn()
 		os.Exit(1)
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "neuserve: %v: draining\n", sig)
@@ -86,6 +161,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "neuserve: shutdown:", err)
 	}
-	// HTTP is quiesced; now stop admission and let queued jobs drain.
-	s.Close()
+	// HTTP is quiesced; now stop admission (worker) or the health
+	// checker (coordinator) and let queued work drain.
+	closeFn()
 }

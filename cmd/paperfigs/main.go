@@ -10,6 +10,9 @@
 //	paperfigs -fig list      # print the figure registry (name + title)
 //	paperfigs -quick         # reduced sweep (seconds, for smoke tests)
 //	paperfigs -out figs/     # one file per figure instead of stdout
+//	paperfigs -cluster http://coord:8077
+//	                         # delegate sweep cells to a neuserve cluster
+//	                         # (remote-safe figures; see -fig list)
 //
 // The grid-shaped figures run on the design-space sweep engine
 // (internal/exp), so -workers changes wall-clock time only: row ordering
@@ -32,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"neummu/internal/cluster"
 	"neummu/internal/exp"
 	"neummu/internal/figures"
 	"neummu/internal/profiling"
@@ -44,6 +48,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sweep for smoke testing")
 		parallel   = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
 		workers    = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
+		clusterURL = flag.String("cluster", "", "delegate sweep evaluation to a neuserve cluster coordinator at this base URL (remote-safe figures only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (hot-path diagnosis)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -75,12 +80,30 @@ func main() {
 	if *parallel && *workers != 0 {
 		fail(fmt.Errorf("-parallel (all CPUs) conflicts with -workers %d", *workers))
 	}
-	h := exp.New(exp.Options{Quick: *quick, Workers: *workers})
+	opts := exp.Options{Quick: *quick, Workers: *workers}
+	if *clusterURL != "" {
+		opts.Remote = cluster.SweepFunc(*clusterURL, nil)
+	}
+	h := exp.New(opts)
 	targets := figures.Names()
 	if *fig != "all" {
 		targets = strings.Split(*fig, ",")
 		for i := range targets {
 			targets[i] = strings.TrimSpace(targets[i])
+		}
+	} else if *clusterURL != "" {
+		// The full registry includes studies the wire protocol cannot
+		// carry; -cluster without -fig runs the remote-safe subset.
+		targets = figures.RemoteNames()
+		fmt.Fprintf(os.Stderr, "paperfigs: -cluster: rendering the remote-safe figures (%s)\n",
+			strings.Join(targets, ", "))
+	}
+	if *clusterURL != "" {
+		for _, f := range targets {
+			if !figures.RemoteSafe(f) {
+				fail(fmt.Errorf("figure %q cannot run against a cluster (needs local per-component stats); remote-safe figures: %s",
+					f, strings.Join(figures.RemoteNames(), ", ")))
+			}
 		}
 	}
 	if *out != "" {

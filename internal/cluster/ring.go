@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker names. Each worker owns
+// Replicas virtual nodes hashed from "url#i"; a cell hashes (via
+// serve.CellHash64, a pure function of the cell's content) to the first
+// virtual node clockwise. Two properties matter to the sweep engine:
+//
+//   - Stability: the mapping depends only on the worker set and the cell,
+//     so repeated and overlapping sweeps keep landing each cell on the
+//     worker whose LRU cache already holds it — across requests, across
+//     coordinator restarts, across coordinators.
+//   - Minimal disruption: removing a worker moves only the cells it
+//     owned; every other cell keeps its cache affinity.
+//
+// The ring is immutable after construction; liveness is layered on top by
+// passing an exclusion predicate to owner (the pool's health view), which
+// walks clockwise past dead workers instead of rehashing the world.
+type ring struct {
+	hashes  []uint64 // sorted virtual-node hashes
+	workers []string // workers[i] owns hashes[i]
+}
+
+func newRing(workers []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	type vnode struct {
+		hash   uint64
+		worker string
+	}
+	vnodes := make([]vnode, 0, len(workers)*replicas)
+	for _, w := range workers {
+		for i := 0; i < replicas; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", w, i)
+			vnodes = append(vnodes, vnode{h.Sum64(), w})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].hash != vnodes[j].hash {
+			return vnodes[i].hash < vnodes[j].hash
+		}
+		return vnodes[i].worker < vnodes[j].worker // deterministic tie-break
+	})
+	r := &ring{
+		hashes:  make([]uint64, len(vnodes)),
+		workers: make([]string, len(vnodes)),
+	}
+	for i, v := range vnodes {
+		r.hashes[i] = v.hash
+		r.workers[i] = v.worker
+	}
+	return r
+}
+
+// owner returns the worker owning hash h, skipping workers for which
+// excluded returns true. Returns "" when every worker is excluded.
+func (r *ring) owner(h uint64, excluded func(string) bool) string {
+	n := len(r.hashes)
+	if n == 0 {
+		return ""
+	}
+	start := sort.Search(n, func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; i < n; i++ {
+		w := r.workers[(start+i)%n]
+		if excluded == nil || !excluded(w) {
+			return w
+		}
+	}
+	return ""
+}

@@ -47,6 +47,29 @@ type Options struct {
 	// serial execution. Row ordering and values are identical at every
 	// setting — the knob trades wall-clock time only.
 	Workers int
+	// Remote, when set, delegates Sweep and SweepPoints evaluation to an
+	// external backend — in practice a neuserve cluster coordinator (see
+	// internal/cluster and neummu.RemoteSweep) — instead of simulating
+	// in-process. Rows keep their deterministic grid order and values,
+	// but carry only the headline metrics (Cycles, Translations,
+	// normalized perf): studies that read deeper per-component stats
+	// (e.g. the Fig12b energy model) must run locally. Methods other
+	// than Sweep/SweepPoints always simulate in-process.
+	Remote RemoteFunc
+}
+
+// RemoteFunc evaluates an explicit point list on a remote backend,
+// returning one cell per point in input order. opts carries the
+// normalized effort knobs (Quick, RepeatCap, TileCap) that shape every
+// cell's schedule.
+type RemoteFunc func(points []Point, opts Options) ([]RemoteCell, error)
+
+// RemoteCell is the headline result of one remotely evaluated point —
+// the scalar metrics the cluster wire protocol carries.
+type RemoteCell struct {
+	Cycles       int64
+	Translations int64
+	Perf         float64
 }
 
 func (o Options) normalized() Options {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"neummu/internal/core"
 	"neummu/internal/energy"
 	"neummu/internal/npu"
@@ -163,6 +165,12 @@ type EnergyPerfRow struct {
 // Fig12b evaluates the energy/performance of [M PRMB, N PTW] design
 // points from [512,8] to [1,4096], normalized to the nominal [32,128].
 func (h *Harness) Fig12b() ([]EnergyPerfRow, error) {
+	// The energy model integrates per-component walker and TLB counters;
+	// a remote backend's rows carry headline metrics only, which would
+	// make every energy sum a silent zero (and the normalization 0/0).
+	if h.opts.Remote != nil {
+		return nil, fmt.Errorf("fig12b integrates per-component walker/TLB stats; run it locally (Options.Remote rows carry headline metrics only)")
+	}
 	pairs := [][2]int{{512, 8}, {256, 16}, {128, 32}, {64, 64}, {32, 128},
 		{16, 256}, {8, 512}, {4, 1024}, {2, 2048}, {1, 4096}}
 	if h.opts.Quick {

@@ -5,6 +5,7 @@ import (
 
 	"neummu/internal/core"
 	"neummu/internal/npu"
+	"neummu/internal/sim"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
 )
@@ -204,8 +205,13 @@ func (h *Harness) Points(ax Axes) []Point { return ax.points(h.opts) }
 
 // SweepPoints evaluates an explicit point list — for non-cartesian spaces
 // such as Figure 12b's constant-product [PRMB, PTW] frontier — returning
-// results in input order.
+// results in input order. With Options.Remote set, evaluation is
+// delegated to the remote backend (a cluster coordinator) and the rows
+// carry headline metrics only; see Options.Remote.
 func (h *Harness) SweepPoints(points []Point) ([]SweepResult, error) {
+	if h.opts.Remote != nil {
+		return h.sweepRemote(points)
+	}
 	return runGrid(h, len(points), func(i int) (SweepResult, error) {
 		p := points[i]
 		perf, res, err := h.NormPerf(p.Model, p.Batch, p.MMU())
@@ -214,6 +220,33 @@ func (h *Harness) SweepPoints(points []Point) ([]SweepResult, error) {
 		}
 		return SweepResult{Point: p, Perf: perf, Result: res}, nil
 	})
+}
+
+// sweepRemote evaluates the point list through Options.Remote. The
+// synthesized npu.Result carries exactly the wire scalars (plus the
+// point's identity), so downstream code reading Cycles, Translations, or
+// NormalizedPerf-derived values sees the worker's numbers verbatim.
+func (h *Harness) sweepRemote(points []Point) ([]SweepResult, error) {
+	cells, err := h.opts.Remote(points, h.opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) != len(points) {
+		return nil, fmt.Errorf("remote sweep returned %d cells for %d points", len(cells), len(points))
+	}
+	out := make([]SweepResult, len(points))
+	for i, c := range cells {
+		p := points[i]
+		out[i] = SweepResult{
+			Point: p,
+			Perf:  c.Perf,
+			Result: &npu.Result{
+				Model: p.Model, Batch: p.Batch, MMUKind: p.Kind,
+				Cycles: sim.Cycle(c.Cycles), Translations: c.Translations,
+			},
+		}
+	}
+	return out, nil
 }
 
 // runGrid is the engine core: evaluate eval(0..n-1) on the harness's

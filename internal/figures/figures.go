@@ -33,6 +33,9 @@ type Entry struct {
 // registry lists every figure in rendering order. Every entry must be
 // indexed in EXPERIMENTS.md (TestFigureRegistryIndexed enforces this), so
 // the doc, the name validation, and the usage text cannot drift apart.
+// When adding a figure whose study is a pure Sweep/SweepPoints over
+// headline metrics, also add it to RemoteSafe below so paperfigs
+// -cluster can run it on a fleet.
 var registry = []Entry{
 	{"table1", "Table I: Baseline NPU configuration", func(_ *exp.Harness, w io.Writer) error { return table1(w) }},
 	{"fig6", "Figure 6: page divergence per DMA tile (4KB pages)", fig6},
@@ -68,6 +71,32 @@ var registry = []Entry{
 // Registry returns the figure entries in rendering order. Callers must not
 // mutate the returned slice.
 func Registry() []Entry { return registry }
+
+// RemoteSafe reports whether a figure's study runs entirely through the
+// sweep engine's Sweep/SweepPoints path reading only headline metrics —
+// the set that can be delegated to a neuserve cluster via
+// exp.Options.Remote (paperfigs -cluster). Everything else either needs
+// per-component stats the wire protocol does not carry (fig12b's energy
+// model), plans models outside the workload registry (seqsweep), or is
+// inherently sequential (fig14, steady).
+func RemoteSafe(name string) bool {
+	switch name {
+	case "fig10", "fig11", "fig12a", "tlbsweep":
+		return true
+	}
+	return false
+}
+
+// RemoteNames returns the RemoteSafe subset of Names, in rendering order.
+func RemoteNames() []string {
+	var names []string
+	for _, f := range registry {
+		if RemoteSafe(f.Name) {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
 
 // Names returns every figure name in rendering order.
 func Names() []string {

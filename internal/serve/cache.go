@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -34,7 +35,7 @@ type Cache[K comparable, V any] struct {
 	entries  map[K]*list.Element
 	inflight map[K]*Flight[V]
 
-	hits, joins, misses, evictions int64
+	hits, joins, misses, evictions, cancels int64
 }
 
 type cacheEntry[K comparable, V any] struct {
@@ -53,6 +54,22 @@ type Flight[V any] struct {
 	// Hit reports that the value came straight from the cache, with no
 	// compute scheduled by anyone.
 	Hit bool
+	// waiters are the request contexts interested in this flight (the
+	// owner's plus every joiner's), appended under the cache mutex. A
+	// queued compute consults them at dequeue: if every waiter has gone
+	// away the simulation is skipped entirely (see Cache.Resolve).
+	waiters []context.Context
+}
+
+// abandoned reports that every context that asked for this flight has
+// been cancelled. Called with the cache mutex held.
+func (f *Flight[V]) abandoned() bool {
+	for _, ctx := range f.waiters {
+		if ctx.Err() == nil {
+			return false
+		}
+	}
+	return len(f.waiters) > 0
 }
 
 // Wait blocks until the flight resolves.
@@ -84,7 +101,15 @@ func NewCache[K comparable, V any](maxBytes int64, size func(V) int64) *Cache[K,
 // the miss is rolled back and the error is returned. compute errors are
 // not cached: they resolve the current flight (shared by its joiners) and
 // the next Resolve starts fresh.
-func (c *Cache[K, V]) Resolve(key K, schedule func(run func()) error, compute func() (V, error)) (*Flight[V], error) {
+//
+// ctx is the caller's interest in the result, not a deadline on the
+// computation: when the closure reaches the front of the scheduler queue
+// and every context registered on the flight (the owner's and all
+// joiners') is already cancelled, the computation is skipped and the
+// flight resolves with context.Canceled instead of simulating for nobody.
+// A skip is treated like any other compute error — nothing is cached, so
+// the next request for the key starts fresh.
+func (c *Cache[K, V]) Resolve(ctx context.Context, key K, schedule func(run func()) error, compute func() (V, error)) (*Flight[V], error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -95,15 +120,31 @@ func (c *Cache[K, V]) Resolve(key K, schedule func(run func()) error, compute fu
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.joins++
+		fl.waiters = append(fl.waiters, ctx)
 		c.mu.Unlock()
 		return fl, nil
 	}
-	fl := &Flight[V]{done: make(chan struct{})}
+	fl := &Flight[V]{done: make(chan struct{}), waiters: []context.Context{ctx}}
 	c.inflight[key] = fl
 	c.misses++
 	c.mu.Unlock()
 
 	run := func() {
+		// Dequeue gate: if everyone who wanted this cell has disconnected
+		// while it sat in the queue, drop it instead of simulating. The
+		// waiter list is checked under the same mutex join uses to append,
+		// so a joiner either registered before the check (and keeps the
+		// compute alive) or finds no inflight entry and starts afresh.
+		c.mu.Lock()
+		if fl.abandoned() {
+			delete(c.inflight, key)
+			c.cancels++
+			c.mu.Unlock()
+			fl.err = context.Canceled
+			close(fl.done)
+			return
+		}
+		c.mu.Unlock()
 		v, err := compute()
 		fl.v, fl.err = v, err
 		c.mu.Lock()
@@ -153,9 +194,12 @@ type CacheStats struct {
 	Joins     int64 `json:"joins"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	// Cancels counts queued computations dropped at dequeue because every
+	// interested request had already disconnected.
+	Cancels  int64 `json:"cancels"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
 }
 
 // HitRate returns the fraction of lookups served without a new
@@ -174,6 +218,7 @@ func (c *Cache[K, V]) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Joins: c.joins, Misses: c.misses, Evictions: c.evictions,
+		Cancels: c.cancels,
 		Entries: len(c.entries), Bytes: c.curBytes, MaxBytes: c.maxBytes,
 	}
 }

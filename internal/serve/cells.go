@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"time"
+
+	"neummu/internal/core"
+	"neummu/internal/exp"
+	"neummu/internal/vm"
+	"neummu/internal/walker"
+	"neummu/internal/workloads"
+)
+
+// This file is the cluster wire protocol: the explicit-point-list
+// counterpart of the axes-shaped /v1/sweep API. A coordinator
+// (internal/cluster) expands a sweep request into its deterministic point
+// grid, shards the points across workers by CellHash64, and each worker
+// answers POST /v1/cells with one CellLine per requested point, streamed
+// in input order through the same scheduler and content-addressed cache
+// as every other endpoint. The types here are the only thing coordinator
+// and worker share on the wire, so they are versioned by the request
+// schema alone (DisallowUnknownFields on both sides).
+
+// WirePoint is the JSON form of one exp.Point. String-typed enums keep
+// the wire readable and stable across internal renumbering.
+type WirePoint struct {
+	Kind     string `json:"kind"`
+	PageSize string `json:"page_size"`
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+	// Walker shape, meaningful for custom points (zero elsewhere).
+	PTWs      int    `json:"ptws,omitempty"`
+	PRMBSlots int    `json:"prmb_slots,omitempty"`
+	PTS       bool   `json:"pts,omitempty"`
+	Path      string `json:"path,omitempty"`
+	// TLBEntries overrides the TLB capacity; 0 keeps the kind baseline.
+	TLBEntries int `json:"tlb_entries,omitempty"`
+}
+
+// ToWire converts a design point to its wire form.
+func ToWire(p exp.Point) WirePoint {
+	return WirePoint{
+		Kind:     p.Kind.String(),
+		PageSize: p.PageSize.String(),
+		Model:    p.Model,
+		Batch:    p.Batch,
+		PTWs:     p.PTWs, PRMBSlots: p.PRMBSlots, PTS: p.PTS,
+		Path:       p.Path.String(),
+		TLBEntries: p.TLBEntries,
+	}
+}
+
+func parseKind(name string) (core.Kind, error) {
+	switch name {
+	case "oracle":
+		return core.Oracle, nil
+	case "iommu":
+		return core.IOMMU, nil
+	case "neummu":
+		return core.NeuMMU, nil
+	case "custom":
+		return core.Custom, nil
+	}
+	return 0, fmt.Errorf("unknown MMU kind %q (have oracle, iommu, neummu, custom)", name)
+}
+
+func parsePageSize(name string) (vm.PageSize, error) {
+	switch name {
+	case "4KB", "4K", "4k":
+		return vm.Page4K, nil
+	case "2MB", "2M", "2m":
+		return vm.Page2M, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q (have 4KB, 2MB)", name)
+}
+
+func parsePath(name string) (walker.PathKind, error) {
+	switch name {
+	case "", "none":
+		return walker.PathNone, nil
+	case "TPreg":
+		return walker.PathTPreg, nil
+	case "TPC":
+		return walker.PathTPC, nil
+	case "UPTC":
+		return walker.PathUPTC, nil
+	}
+	return 0, fmt.Errorf("unknown path kind %q (have none, TPreg, TPC, UPTC)", name)
+}
+
+// Point converts the wire form back to a design point, validating every
+// field a bogus request could abuse (the same checks ExpandSweep applies
+// to axes-shaped requests).
+func (w WirePoint) Point() (exp.Point, error) {
+	var p exp.Point
+	kind, err := parseKind(w.Kind)
+	if err != nil {
+		return p, err
+	}
+	ps, err := parsePageSize(w.PageSize)
+	if err != nil {
+		return p, err
+	}
+	path, err := parsePath(w.Path)
+	if err != nil {
+		return p, err
+	}
+	if _, err := workloads.ByName(w.Model); err != nil {
+		return p, err
+	}
+	if w.Batch <= 0 {
+		return p, fmt.Errorf("bad batch size %d", w.Batch)
+	}
+	if kind == core.Custom && w.PTWs <= 0 {
+		return p, fmt.Errorf("bad ptws %d (must be positive)", w.PTWs)
+	}
+	if w.PTWs < 0 || w.PRMBSlots < 0 || w.TLBEntries < 0 {
+		return p, fmt.Errorf("negative walker/TLB shape (%d ptws, %d prmb_slots, %d tlb_entries)",
+			w.PTWs, w.PRMBSlots, w.TLBEntries)
+	}
+	return exp.Point{
+		Kind: kind, PageSize: ps, Model: w.Model, Batch: w.Batch,
+		PTWs: w.PTWs, PRMBSlots: w.PRMBSlots, PTS: w.PTS, Path: path,
+		TLBEntries: w.TLBEntries,
+	}, nil
+}
+
+// CellsRequest is the POST /v1/cells payload: an explicit point list plus
+// the effort knobs that shape every cell's schedule.
+type CellsRequest struct {
+	Points []WirePoint `json:"points"`
+
+	Quick     bool `json:"quick,omitempty"`
+	RepeatCap int  `json:"repeat_cap,omitempty"`
+	TileCap   int  `json:"tile_cap,omitempty"`
+}
+
+// CellLine is one NDJSON line of a /v1/cells response: the result of
+// request point I. Err is set instead of the metrics when that single
+// cell failed; the stream continues with the remaining cells either way.
+type CellLine struct {
+	I            int     `json:"i"`
+	Cycles       int64   `json:"cycles"`
+	Translations int64   `json:"translations"`
+	Perf         float64 `json:"normalized_perf"`
+	// Hit reports the cell was answered from this worker's cache.
+	Hit bool   `json:"hit,omitempty"`
+	Err string `json:"error,omitempty"`
+}
+
+// CellHash64 content-addresses one cell for cross-process routing: unlike
+// the per-process maphash key the cache uses, it is a pure function of the
+// point and the normalized effort caps, so every coordinator (and every
+// restart) routes the same cell to the same worker. FNV-1a over the
+// canonical field encoding.
+func CellHash64(p exp.Point, repeatCap, tileCap int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%d|%d|%d|%t|%d|%d|%d|%d",
+		p.Kind, p.PageSize, p.Model, p.Batch,
+		p.PTWs, p.PRMBSlots, p.PTS, p.Path, p.TLBEntries,
+		repeatCap, tileCap)
+	return h.Sum64()
+}
+
+// PointRow renders the public NDJSON row for one resolved cell. It is the
+// single rendering path shared by the in-process sweep handler and the
+// cluster coordinator's merge, which is what makes a merged cluster sweep
+// byte-identical to a single-process one.
+func PointRow(p exp.Point, cycles, translations int64, perf float64) CellRow {
+	return CellRow{
+		Model: p.Model, Batch: p.Batch,
+		MMU: p.Kind.String(), PageSize: p.PageSize.String(),
+		Cycles: cycles, Translations: translations, NormalizedPerf: perf,
+	}
+}
+
+// ExpandSweep validates an axes-shaped sweep request and expands it into
+// its deterministic point grid under the harness's normalized defaults.
+// It is shared by the in-process sweep handler and the cluster
+// coordinator, so both reject exactly the same payloads and expand to
+// exactly the same grids.
+func ExpandSweep(h *exp.Harness, req SweepRequest, maxCells int) ([]exp.Point, error) {
+	kinds, err := parseKinds(req.MMUs)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := parsePageSizes(req.PageSizes)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range req.Models {
+		if _, err := workloads.ByName(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range req.Batches {
+		if b <= 0 {
+			return nil, fmt.Errorf("bad batch size %d", b)
+		}
+	}
+	for _, n := range req.TLBEntries {
+		if n < 0 {
+			return nil, fmt.Errorf("bad tlb_entries %d", n)
+		}
+	}
+	// The walker silently normalizes non-positive counts to its baseline;
+	// reject them here so a bogus axis value cannot be simulated under —
+	// and cached against — a label it does not mean.
+	for _, n := range req.PTWs {
+		if n <= 0 {
+			return nil, fmt.Errorf("bad ptws %d (must be positive)", n)
+		}
+	}
+	for _, n := range req.PRMBSlots {
+		if n < 0 {
+			return nil, fmt.Errorf("bad prmb_slots %d (0 disables merging)", n)
+		}
+	}
+	points := h.Points(exp.Axes{
+		Kinds: kinds, PageSizes: sizes,
+		Models: req.Models, Batches: req.Batches,
+		PTWs: req.PTWs, PRMBSlots: req.PRMBSlots, TLBEntries: req.TLBEntries,
+	})
+	if len(points) > maxCells {
+		return nil, fmt.Errorf("sweep expands to %d cells, above the per-request bound of %d",
+			len(points), maxCells)
+	}
+	return points, nil
+}
+
+// ParseCellsRequest decodes and validates a /v1/cells payload: strict
+// JSON, a non-empty point list within maxCells, every wire point
+// convertible. It is shared by the worker handler here and the cluster
+// coordinator (which also speaks the protocol), so both tiers reject
+// exactly the same payloads with the same messages; every error maps to
+// a 400.
+func ParseCellsRequest(r *http.Request, maxCells int) (CellsRequest, []exp.Point, error) {
+	var req CellsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(req.Points) == 0 {
+		return req, nil, errors.New("no points")
+	}
+	if len(req.Points) > maxCells {
+		return req, nil, fmt.Errorf("%d cells, above the per-request bound of %d",
+			len(req.Points), maxCells)
+	}
+	points := make([]exp.Point, len(req.Points))
+	for i, wp := range req.Points {
+		p, err := wp.Point()
+		if err != nil {
+			return req, nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		points[i] = p
+	}
+	return req, points, nil
+}
+
+// handleCells streams one CellLine per requested point, in input order,
+// resolving each point through the same scheduler and cell cache as
+// /v1/sweep — so a coordinator routing repeated cells to this worker hits
+// the same LRU entries an interactive client would.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, points, err := ParseCellsRequest(r, s.cfg.MaxCellsPerRequest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h := s.harness(Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	flights, hits, err := s.resolveCells(r.Context(), h, points)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
+	w.Header().Set("X-Neuserve-Cache",
+		fmt.Sprintf("hits=%d misses=%d", hits, len(points)-hits))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i, fl := range flights {
+		line := CellLine{I: i, Hit: fl.Hit}
+		v, err := fl.Wait()
+		if err != nil {
+			line.Err = err.Error()
+		} else {
+			line.Cycles, line.Translations, line.Perf = v.Cycles, v.Translations, v.Perf
+		}
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.metrics.cellsServed.Add(int64(len(points)))
+	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+}

@@ -34,8 +34,10 @@ func newMetrics() *metrics {
 	}
 }
 
-// latencyJSON is the wire form of a stats.LatencySummary.
-type latencyJSON struct {
+// LatencyJSON is the wire form of a stats.LatencySummary, shared by the
+// server's and the cluster coordinator's /metrics bodies so the two tiers
+// report latency in one shape.
+type LatencyJSON struct {
 	Count int64   `json:"count"`
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
@@ -44,8 +46,9 @@ type latencyJSON struct {
 	Max   float64 `json:"max"`
 }
 
-func toLatencyJSON(s stats.LatencySummary) latencyJSON {
-	return latencyJSON{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+// ToLatencyJSON converts a summary to its wire form.
+func ToLatencyJSON(s stats.LatencySummary) LatencyJSON {
+	return LatencyJSON{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
 }
 
 // Metrics is the /metrics response: queue and cache state, throughput,
@@ -70,8 +73,8 @@ type Metrics struct {
 	FiguresServed int64      `json:"figures_served"`
 	FiguresBuilt  int64      `json:"figures_built"`
 
-	SweepLatencyMS  latencyJSON `json:"sweep_latency_ms"`
-	FigureLatencyMS latencyJSON `json:"figure_latency_ms"`
+	SweepLatencyMS  LatencyJSON `json:"sweep_latency_ms"`
+	FigureLatencyMS LatencyJSON `json:"figure_latency_ms"`
 }
 
 func (s *Server) snapshot() Metrics {
@@ -98,8 +101,8 @@ func (s *Server) snapshot() Metrics {
 		FiguresServed: m.figsServed.Load(),
 		FiguresBuilt:  m.figsBuilt.Load(),
 
-		SweepLatencyMS:  toLatencyJSON(m.sweepLatency.Summary()),
-		FigureLatencyMS: toLatencyJSON(m.figureLatency.Summary()),
+		SweepLatencyMS:  ToLatencyJSON(m.sweepLatency.Summary()),
+		FigureLatencyMS: ToLatencyJSON(m.figureLatency.Summary()),
 	}
 	if up > 0 {
 		out.CellsPerSec = float64(cells) / up

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -84,14 +85,14 @@ func inline(run func()) error {
 func TestCacheHitJoinMiss(t *testing.T) {
 	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
 	computes := 0
-	fl, err := c.Resolve(1, inline, func() (int, error) { computes++; return 10, nil })
+	fl, err := c.Resolve(context.Background(), 1, inline, func() (int, error) { computes++; return 10, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := fl.Wait(); v != 10 || fl.Hit {
 		t.Errorf("first resolve: v=%d hit=%v", v, fl.Hit)
 	}
-	fl, _ = c.Resolve(1, inline, func() (int, error) { computes++; return 99, nil })
+	fl, _ = c.Resolve(context.Background(), 1, inline, func() (int, error) { computes++; return 99, nil })
 	if v, _ := fl.Wait(); v != 10 || !fl.Hit {
 		t.Errorf("second resolve: v=%d hit=%v, want cached 10", v, fl.Hit)
 	}
@@ -110,7 +111,7 @@ func TestCacheJoinSharesOneCompute(t *testing.T) {
 	release := make(chan struct{})
 	var computes int
 	// First resolver schedules onto a goroutine that parks until released.
-	fl1, err := c.Resolve(7, func(run func()) error {
+	fl1, err := c.Resolve(context.Background(), 7, func(run func()) error {
 		go func() { close(started); <-release; run() }()
 		return nil
 	}, func() (int, error) { computes++; return 42, nil })
@@ -119,7 +120,7 @@ func TestCacheJoinSharesOneCompute(t *testing.T) {
 	}
 	<-started
 	// Second resolver must join the in-flight computation, not start one.
-	fl2, err := c.Resolve(7, func(run func()) error {
+	fl2, err := c.Resolve(context.Background(), 7, func(run func()) error {
 		t.Error("join scheduled a second compute")
 		run()
 		return nil
@@ -141,7 +142,7 @@ func TestCacheJoinSharesOneCompute(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := NewCache[int, int](128, func(int) int64 { return 64 })
 	for k := 0; k < 4; k++ {
-		fl, _ := c.Resolve(k, inline, func() (int, error) { return k, nil })
+		fl, _ := c.Resolve(context.Background(), k, inline, func() (int, error) { return k, nil })
 		fl.Wait()
 	}
 	st := c.Stats()
@@ -150,13 +151,13 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// Key 0 was evicted: resolving it again must recompute.
 	computes := 0
-	fl, _ := c.Resolve(0, inline, func() (int, error) { computes++; return 0, nil })
+	fl, _ := c.Resolve(context.Background(), 0, inline, func() (int, error) { computes++; return 0, nil })
 	fl.Wait()
 	if computes != 1 {
 		t.Error("evicted key served from cache")
 	}
 	// Key 3 is still resident.
-	fl, _ = c.Resolve(3, inline, func() (int, error) { t.Error("resident key recomputed"); return 0, nil })
+	fl, _ = c.Resolve(context.Background(), 3, inline, func() (int, error) { t.Error("resident key recomputed"); return 0, nil })
 	if _, err := fl.Wait(); err != nil || !fl.Hit {
 		t.Error("resident key missed")
 	}
@@ -164,11 +165,11 @@ func TestCacheEviction(t *testing.T) {
 
 func TestCacheErrorNotCached(t *testing.T) {
 	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
-	fl, _ := c.Resolve(1, inline, func() (int, error) { return 0, fmt.Errorf("boom") })
+	fl, _ := c.Resolve(context.Background(), 1, inline, func() (int, error) { return 0, fmt.Errorf("boom") })
 	if _, err := fl.Wait(); err == nil {
 		t.Fatal("error lost")
 	}
-	fl, _ = c.Resolve(1, inline, func() (int, error) { return 5, nil })
+	fl, _ = c.Resolve(context.Background(), 1, inline, func() (int, error) { return 5, nil })
 	if v, err := fl.Wait(); err != nil || v != 5 {
 		t.Errorf("retry after error: v=%d err=%v", v, err)
 	}
@@ -176,12 +177,12 @@ func TestCacheErrorNotCached(t *testing.T) {
 
 func TestCacheScheduleRejectionRollsBack(t *testing.T) {
 	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
-	_, err := c.Resolve(1, func(func()) error { return ErrOverloaded }, func() (int, error) { return 1, nil })
+	_, err := c.Resolve(context.Background(), 1, func(func()) error { return ErrOverloaded }, func() (int, error) { return 1, nil })
 	if err != ErrOverloaded {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
 	// The rolled-back key must be resolvable afresh.
-	fl, err := c.Resolve(1, inline, func() (int, error) { return 2, nil })
+	fl, err := c.Resolve(context.Background(), 1, inline, func() (int, error) { return 2, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,10 +200,10 @@ func TestCacheScheduleRejectionRollsBack(t *testing.T) {
 func TestCacheScheduleRejectionResolvesJoiners(t *testing.T) {
 	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
 	joined := make(chan *Flight[int], 1)
-	_, err := c.Resolve(1, func(func()) error {
+	_, err := c.Resolve(context.Background(), 1, func(func()) error {
 		// While the owner is between registering the flight and having its
 		// schedule rejected, a second resolver joins.
-		fl, err := c.Resolve(1, func(func()) error {
+		fl, err := c.Resolve(context.Background(), 1, func(func()) error {
 			t.Error("joiner scheduled its own compute")
 			return nil
 		}, func() (int, error) { return 99, nil })
@@ -558,5 +559,217 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.FiguresServed != 2 || m.FiguresBuilt != 1 {
 		t.Errorf("figures served/built = %d/%d, want 2/1", m.FiguresServed, m.FiguresBuilt)
+	}
+}
+
+// --- cancellation: queued work whose clients vanished is dropped ---
+
+// TestCacheCancelledDroppedAtDequeue: a computation still queued when its
+// only requester has disconnected must be dropped at dequeue — the
+// compute callback (a simulation, in production) must never run.
+func TestCacheCancelledDroppedAtDequeue(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	ctx, cancel := context.WithCancel(context.Background())
+	var queued func()
+	fl, err := c.Resolve(ctx, 1,
+		func(run func()) error { queued = run; return nil }, // park in "queue"
+		func() (int, error) { t.Error("cancelled compute reached the harness"); return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // client disconnects while the job is queued
+	queued() // the worker dequeues it
+	if _, err := fl.Wait(); err != context.Canceled {
+		t.Errorf("Wait err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Cancels != 1 {
+		t.Errorf("cancels = %d, want 1 (%+v)", st.Cancels, st)
+	}
+	// The skip is not cached: a fresh request computes.
+	fl, _ = c.Resolve(context.Background(), 1, inline, func() (int, error) { return 5, nil })
+	if v, err := fl.Wait(); err != nil || v != 5 {
+		t.Errorf("recompute after drop: v=%d err=%v", v, err)
+	}
+}
+
+// TestCacheLiveJoinerKeepsCompute: cancellation is per-flight interest,
+// not per-request — if a second, live client joined the same cell, the
+// owner's disconnect must not starve it.
+func TestCacheLiveJoinerKeepsCompute(t *testing.T) {
+	c := NewCache[int, int](1<<20, func(int) int64 { return 64 })
+	ctx, cancel := context.WithCancel(context.Background())
+	var queued func()
+	fl1, err := c.Resolve(ctx, 1,
+		func(run func()) error { queued = run; return nil },
+		func() (int, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := c.Resolve(context.Background(), 1, func(func()) error {
+		t.Error("joiner scheduled its own compute")
+		return nil
+	}, func() (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the owner leaves; the joiner is still waiting
+	queued()
+	if v, err := fl2.Wait(); err != nil || v != 7 {
+		t.Errorf("joiner got v=%d err=%v, want 7", v, err)
+	}
+	if v, err := fl1.Wait(); err != nil || v != 7 {
+		t.Errorf("owner flight resolved v=%d err=%v", v, err)
+	}
+	if st := c.Stats(); st.Cancels != 0 {
+		t.Errorf("cancels = %d, want 0", st.Cancels)
+	}
+}
+
+// TestSweepCancelledClientNeverSimulates is the end-to-end form: a sweep
+// request whose client disconnects while its cells sit in the scheduler
+// queue must not simulate anything once the worker gets to them. It
+// drives the handler's resolve path directly with a cancelled context —
+// exactly what net/http hands handleSweep when the client hangs up.
+func TestSweepCancelledClientNeverSimulates(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, Shards: 1, QueueDepth: 64})
+	block := make(chan struct{})
+	if err := s.sched.Submit(0, func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	h, points, err := s.expand(SweepRequest{
+		Quick: true, Models: []string{"CNN-1", "RNN-1"}, Batches: []int{4},
+		MMUs: []string{"neummu", "iommu"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	flights, _, err := s.resolveCells(ctx, h, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()     // the client disconnects while all 4 cells are queued
+	close(block) // the worker reaches them
+	for _, fl := range flights {
+		if _, err := fl.Wait(); err != context.Canceled {
+			t.Errorf("flight err = %v, want context.Canceled", err)
+		}
+	}
+	if sim := s.Metrics().CellsSimulated; sim != 0 {
+		t.Errorf("cancelled sweep simulated %d cells, want 0", sim)
+	}
+	if st := s.cells.Stats(); st.Cancels != 4 {
+		t.Errorf("cancels = %d, want 4 (%+v)", st.Cancels, st)
+	}
+}
+
+// --- /v1/cells: the cluster wire protocol ---
+
+func TestCellsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"quick":true,"points":[
+		{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":4},
+		{"kind":"custom","page_size":"4KB","model":"RNN-1","batch":4,"ptws":8,"prmb_slots":32,"pts":true,"path":"TPreg"}]}`
+	resp, cold := post(t, ts, "/v1/cells", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, cold)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(cold), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), cold)
+	}
+	for i, l := range lines {
+		var cl CellLine
+		if err := json.Unmarshal([]byte(l), &cl); err != nil {
+			t.Fatal(err)
+		}
+		if cl.I != i || cl.Cycles <= 0 || cl.Perf <= 0 || cl.Err != "" || cl.Hit {
+			t.Errorf("line %d = %+v", i, cl)
+		}
+	}
+	// A repeat answers from cache, and the bytes (minus the hit flag) are
+	// derived from the identical cached values.
+	resp, warm := post(t, ts, "/v1/cells", body)
+	if got := resp.Header.Get("X-Neuserve-Cache"); got != "hits=2 misses=0" {
+		t.Errorf("warm cache header = %q", got)
+	}
+	var cl CellLine
+	if err := json.Unmarshal([]byte(strings.SplitN(string(warm), "\n", 2)[0]), &cl); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Hit {
+		t.Error("warm line not marked hit")
+	}
+	if sim := s.Metrics().CellsSimulated; sim != 2 {
+		t.Errorf("simulated %d, want 2", sim)
+	}
+	// The wire values must agree with the public sweep rows for the same
+	// cell — the protocols share one cache and one simulator.
+	_, sweepBody := post(t, ts, "/v1/sweep",
+		`{"quick":true,"models":["CNN-1"],"batches":[4],"mmus":["iommu"]}`)
+	var row CellRow
+	if err := json.Unmarshal([]byte(strings.SplitN(string(sweepBody), "\n", 2)[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	var first CellLine
+	json.Unmarshal([]byte(lines[0]), &first)
+	if row.Cycles != first.Cycles || row.NormalizedPerf != first.Perf {
+		t.Errorf("sweep row %+v disagrees with cells line %+v", row, first)
+	}
+}
+
+func TestCellsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxCellsPerRequest: 2})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{not json`, 400},
+		{`{"points":[]}`, 400},
+		{`{"points":[{"kind":"tpu","page_size":"4KB","model":"CNN-1","batch":4}]}`, 400},
+		{`{"points":[{"kind":"iommu","page_size":"1GB","model":"CNN-1","batch":4}]}`, 400},
+		{`{"points":[{"kind":"iommu","page_size":"4KB","model":"VGG-99","batch":4}]}`, 400},
+		{`{"points":[{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":0}]}`, 400},
+		{`{"points":[{"kind":"custom","page_size":"4KB","model":"CNN-1","batch":4}]}`, 400},
+		{`{"points":[{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":4,"path":"L2"}]}`, 400},
+		{`{"points":[{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":4,"tlb_entries":-1}]}`, 400},
+		{`{"quick":true,"points":[
+			{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":1},
+			{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":2},
+			{"kind":"iommu","page_size":"4KB","model":"CNN-1","batch":4}]}`, 400},
+	}
+	for _, c := range cases {
+		resp, _ := post(t, ts, "/v1/cells", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestWirePointRoundTrip: every sweep-expressible point must survive the
+// wire conversion unchanged — the coordinator depends on it to route and
+// re-route cells without altering their meaning.
+func TestWirePointRoundTrip(t *testing.T) {
+	h := exp.New(exp.Options{Quick: true})
+	points := h.Points(exp.Axes{
+		Kinds:      []core.Kind{core.Oracle, core.IOMMU, core.NeuMMU, core.Custom},
+		PTWs:       []int{8, 128},
+		PRMBSlots:  []int{32},
+		TLBEntries: []int{0, 4096},
+	})
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		rt, err := ToWire(p).Point()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label(), err)
+		}
+		if rt != p {
+			t.Errorf("round trip changed %+v to %+v", p, rt)
+		}
+		if CellHash64(rt, 2, 6) != CellHash64(p, 2, 6) {
+			t.Errorf("%s: hash changed across round trip", p.Label())
+		}
 	}
 }

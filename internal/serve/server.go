@@ -14,6 +14,10 @@
 //	POST /v1/sweep            a design-space sweep; streams one NDJSON row
 //	                          per cell in grid order plus a summary line
 //	POST /v1/sim              a single simulation cell (JSON object)
+//	POST /v1/cells            an explicit point list, streamed back as one
+//	                          NDJSON line per point in input order — the
+//	                          cluster wire protocol a coordinator shards
+//	                          sweeps over (see internal/cluster)
 //
 // Determinism guarantee: the response body for a given request payload is
 // byte-identical across repetitions, cache hits, cache misses, worker
@@ -26,6 +30,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,7 +44,6 @@ import (
 	"neummu/internal/exp"
 	"neummu/internal/figures"
 	"neummu/internal/vm"
-	"neummu/internal/workloads"
 )
 
 // Config tunes a Server.
@@ -70,13 +74,47 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// effortKey identifies a harness configuration: the effort knobs a request
+// Effort identifies a harness configuration: the effort knobs a request
 // may set. Harnesses are memoized per effort so all requests at one effort
 // share plan/snapshot/oracle caches.
-type effortKey struct {
-	quick     bool
-	repeatCap int
-	tileCap   int
+type Effort struct {
+	Quick     bool
+	RepeatCap int
+	TileCap   int
+}
+
+// HarnessCache memoizes one exp.Harness per effort level. It is the one
+// place that decides what selects a harness, shared by the server and the
+// cluster coordinator so the two tiers can never diverge on effort
+// normalization.
+type HarnessCache struct {
+	workers int
+
+	mu sync.Mutex
+	m  map[Effort]*exp.Harness
+}
+
+// NewHarnessCache returns a cache whose harnesses run sweeps on the given
+// worker count (1 = a pure expansion/normalization harness that never
+// simulates in parallel — what a coordinator wants).
+func NewHarnessCache(workers int) *HarnessCache {
+	return &HarnessCache{workers: workers, m: make(map[Effort]*exp.Harness)}
+}
+
+// Get returns the memoized harness for an effort level, building it on
+// first use.
+func (c *HarnessCache) Get(e Effort) *exp.Harness {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.m[e]
+	if !ok {
+		h = exp.New(exp.Options{
+			Quick: e.Quick, RepeatCap: e.RepeatCap, TileCap: e.TileCap,
+			Workers: c.workers,
+		})
+		c.m[e] = h
+	}
+	return h
 }
 
 // cellKey content-addresses one simulation cell: the full design Point
@@ -119,8 +157,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
-	mu        sync.Mutex
-	harnesses map[effortKey]*exp.Harness
+	harnesses *HarnessCache
 }
 
 // New returns a ready-to-serve Server.
@@ -135,7 +172,7 @@ func New(cfg Config) *Server {
 			func(b []byte) int64 { return int64(len(b)) + 128 }),
 		seed:      maphash.MakeSeed(),
 		metrics:   newMetrics(),
-		harnesses: make(map[effortKey]*exp.Harness),
+		harnesses: NewHarnessCache(cfg.Workers),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -144,6 +181,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/cells", s.handleCells)
 	s.mux = mux
 	return s
 }
@@ -164,19 +202,7 @@ func (s *Server) Metrics() Metrics { return s.snapshot() }
 
 // harness returns the memoized harness for an effort level. The harness's
 // own pool (used by figure studies) shares the server's worker budget.
-func (s *Server) harness(e effortKey) *exp.Harness {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, ok := s.harnesses[e]
-	if !ok {
-		h = exp.New(exp.Options{
-			Quick: e.quick, RepeatCap: e.repeatCap, TileCap: e.tileCap,
-			Workers: s.cfg.Workers,
-		})
-		s.harnesses[e] = h
-	}
-	return h
-}
+func (s *Server) harness(e Effort) *exp.Harness { return s.harnesses.Get(e) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -210,20 +236,20 @@ func (s *Server) handleFigureList(w http.ResponseWriter, _ *http.Request) {
 
 // parseEffort reads the quick/repeat_cap/tile_cap query parameters shared
 // by the figure endpoint.
-func parseEffort(r *http.Request) (effortKey, error) {
-	var e effortKey
+func parseEffort(r *http.Request) (Effort, error) {
+	var e Effort
 	q := r.URL.Query()
 	if v := q.Get("quick"); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
 			return e, fmt.Errorf("bad quick value %q", v)
 		}
-		e.quick = b
+		e.Quick = b
 	}
 	for _, p := range []struct {
 		name string
 		dst  *int
-	}{{"repeat_cap", &e.repeatCap}, {"tile_cap", &e.tileCap}} {
+	}{{"repeat_cap", &e.RepeatCap}, {"tile_cap", &e.TileCap}} {
 		if v := q.Get(p.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -253,9 +279,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	h := s.harness(e)
 	opts := h.Options()
-	key := figKey{name: name, quick: e.quick, repeat: opts.RepeatCap, tileCap: opts.TileCap}
+	key := figKey{name: name, quick: e.Quick, repeat: opts.RepeatCap, tileCap: opts.TileCap}
 	hash := maphash.Comparable(s.seed, key)
-	fl, err := s.figs.Resolve(key,
+	fl, err := s.figs.Resolve(r.Context(), key,
 		func(run func()) error { return s.sched.Submit(hash, run) },
 		func() ([]byte, error) {
 			s.metrics.figsBuilt.Add(1)
@@ -365,51 +391,10 @@ func parsePageSizes(names []string) ([]vm.PageSize, error) {
 // expand validates the request and turns it into its deterministic point
 // grid plus the harness that will run it.
 func (s *Server) expand(req SweepRequest) (*exp.Harness, []exp.Point, error) {
-	kinds, err := parseKinds(req.MMUs)
+	h := s.harness(Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	points, err := ExpandSweep(h, req, s.cfg.MaxCellsPerRequest)
 	if err != nil {
 		return nil, nil, err
-	}
-	sizes, err := parsePageSizes(req.PageSizes)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, m := range req.Models {
-		if _, err := workloads.ByName(m); err != nil {
-			return nil, nil, err
-		}
-	}
-	for _, b := range req.Batches {
-		if b <= 0 {
-			return nil, nil, fmt.Errorf("bad batch size %d", b)
-		}
-	}
-	for _, n := range req.TLBEntries {
-		if n < 0 {
-			return nil, nil, fmt.Errorf("bad tlb_entries %d", n)
-		}
-	}
-	// The walker silently normalizes non-positive counts to its baseline;
-	// reject them here so a bogus axis value cannot be simulated under —
-	// and cached against — a label it does not mean.
-	for _, n := range req.PTWs {
-		if n <= 0 {
-			return nil, nil, fmt.Errorf("bad ptws %d (must be positive)", n)
-		}
-	}
-	for _, n := range req.PRMBSlots {
-		if n < 0 {
-			return nil, nil, fmt.Errorf("bad prmb_slots %d (0 disables merging)", n)
-		}
-	}
-	h := s.harness(effortKey{quick: req.Quick, repeatCap: req.RepeatCap, tileCap: req.TileCap})
-	points := h.Points(exp.Axes{
-		Kinds: kinds, PageSizes: sizes,
-		Models: req.Models, Batches: req.Batches,
-		PTWs: req.PTWs, PRMBSlots: req.PRMBSlots, TLBEntries: req.TLBEntries,
-	})
-	if len(points) > s.cfg.MaxCellsPerRequest {
-		return nil, nil, fmt.Errorf("sweep expands to %d cells, above the per-request bound of %d",
-			len(points), s.cfg.MaxCellsPerRequest)
 	}
 	return h, points, nil
 }
@@ -417,13 +402,16 @@ func (s *Server) expand(req SweepRequest) (*exp.Harness, []exp.Point, error) {
 // resolveCells schedules every point through the cell cache, deduplicating
 // against cached, in-flight, and same-request work, and returns the
 // flights in grid order. hits counts cells answered straight from cache.
-func (s *Server) resolveCells(h *exp.Harness, points []exp.Point) (flights []*Flight[cellValue], hits int, err error) {
+// ctx is the requesting client's context: a cell still queued when every
+// client interested in it disconnects is dropped at dequeue, never
+// simulated (see Cache.Resolve).
+func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.Point) (flights []*Flight[cellValue], hits int, err error) {
 	opts := h.Options()
 	flights = make([]*Flight[cellValue], len(points))
 	for i, p := range points {
 		key := cellKey{point: p, repeatCap: opts.RepeatCap, tileCap: opts.TileCap}
 		hash := maphash.Comparable(s.seed, key)
-		fl, err := s.cells.Resolve(key,
+		fl, err := s.cells.Resolve(ctx, key,
 			func(run func()) error { return s.sched.Submit(hash, run) },
 			func() (cellValue, error) {
 				s.metrics.simulated.Add(1)
@@ -467,7 +455,10 @@ func setCacheHeader(w http.ResponseWriter, hit bool) {
 	}
 }
 
-func decodeRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest) bool {
+// DecodeSweepRequest strictly decodes a sweep/sim payload, answering 400
+// itself on failure. Shared with the cluster coordinator so both tiers
+// reject malformed payloads identically.
+func DecodeSweepRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -478,11 +469,7 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest) bo
 }
 
 func rowFor(p exp.Point, v cellValue) CellRow {
-	return CellRow{
-		Model: p.Model, Batch: p.Batch,
-		MMU: p.Kind.String(), PageSize: p.PageSize.String(),
-		Cycles: v.Cycles, Translations: v.Translations, NormalizedPerf: v.Perf,
-	}
+	return PointRow(p, v.Cycles, v.Translations, v.Perf)
 }
 
 // handleSweep streams one NDJSON row per cell, in grid order, then a
@@ -492,7 +479,7 @@ func rowFor(p exp.Point, v cellValue) CellRow {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SweepRequest
-	if !decodeRequest(w, r, &req) {
+	if !DecodeSweepRequest(w, r, &req) {
 		return
 	}
 	h, points, err := s.expand(req)
@@ -500,7 +487,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	flights, hits, err := s.resolveCells(h, points)
+	flights, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
 		s.reject(w, err)
 		return
@@ -538,7 +525,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SweepRequest
-	if !decodeRequest(w, r, &req) {
+	if !DecodeSweepRequest(w, r, &req) {
 		return
 	}
 	h, points, err := s.expand(req)
@@ -551,7 +538,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			len(points)), http.StatusBadRequest)
 		return
 	}
-	flights, hits, err := s.resolveCells(h, points)
+	flights, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
 		s.reject(w, err)
 		return

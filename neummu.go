@@ -22,6 +22,9 @@
 package neummu
 
 import (
+	"net/http"
+
+	"neummu/internal/cluster"
 	"neummu/internal/core"
 	"neummu/internal/embeddings"
 	"neummu/internal/exp"
@@ -232,3 +235,34 @@ type ServerConfig = serve.Config
 // NewServer returns a simulation service ready to mount on any HTTP mux.
 // Call Close after the HTTP server has drained to stop the scheduler.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// Coordinator is the scale-out front of a neuserve fleet: an http.Handler
+// accepting the same sweep API as a Server, sharding the expanded grid
+// across workers by consistent hashing on the content-addressed cell key,
+// and merging the streams back byte-identical to a single process. See
+// internal/cluster for the routing, failure-handling, and determinism
+// contract.
+type Coordinator = cluster.Coordinator
+
+// ClusterConfig tunes a Coordinator: the worker fleet, hash-ring
+// replicas, per-cell retry budget, shard timeout, and health probing.
+type ClusterConfig = cluster.Config
+
+// NewCoordinator returns a sweep coordinator for the given worker fleet
+// (worker URLs point at plain neuserve instances). Call Close after the
+// HTTP server has drained to stop the health checker.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// RemoteSweepFunc is the pluggable remote sweep backend type carried by
+// HarnessOptions.Remote.
+type RemoteSweepFunc = exp.RemoteFunc
+
+// RemoteSweep returns a remote sweep backend for HarnessOptions.Remote:
+// Sweep and SweepPoints evaluate their cells on the neuserve fleet (or
+// single instance) at baseURL instead of simulating in-process, keeping
+// deterministic row order and values. Rows carry headline metrics only
+// (cycles, translations, normalized perf). A nil client selects a
+// default suited to long streaming responses.
+func RemoteSweep(baseURL string, client *http.Client) exp.RemoteFunc {
+	return cluster.SweepFunc(baseURL, client)
+}
