@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neummu/internal/counters"
 	"neummu/internal/exp"
 	"neummu/internal/serve"
 	"neummu/internal/stats"
@@ -190,6 +191,7 @@ type slot struct {
 	done                 chan struct{}
 	cycles, translations int64
 	perf                 float64
+	counters             counters.Bundle
 	hit                  bool
 	err                  error
 	// attempts counts dispatches that have carried this cell; bounded by
@@ -354,6 +356,7 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 		}
 		w.completed.Add(1)
 		sl.cycles, sl.translations, sl.perf, sl.hit = line.Cycles, line.Translations, line.Perf, line.Hit
+		sl.counters = line.Counters
 		close(sl.done)
 	}
 }
@@ -451,6 +454,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sum := 0.0
+	var agg counters.Bundle
 	for i, sl := range slots {
 		select {
 		case <-sl.done:
@@ -471,7 +475,8 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sum += sl.perf
-		enc.Encode(serve.PointRow(points[i], sl.cycles, sl.translations, sl.perf))
+		agg = agg.Add(sl.counters)
+		enc.Encode(serve.PointRow(points[i], sl.cycles, sl.translations, sl.perf, sl.counters))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -479,6 +484,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(serve.SweepSummary{
 		Summary: true, Cells: len(points),
 		AvgNormalizedPerf: sum / float64(len(points)),
+		Counters:          agg,
 	})
 	c.sweeps.Add(1)
 	c.cellsServed.Add(int64(len(points)))
@@ -527,7 +533,7 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(serve.PointRow(points[0], sl.cycles, sl.translations, sl.perf))
+	enc.Encode(serve.PointRow(points[0], sl.cycles, sl.translations, sl.perf, sl.counters))
 	c.cellsServed.Add(1)
 	c.sweepLatency.Record(float64(time.Since(startT)) / float64(time.Millisecond))
 }
@@ -569,6 +575,7 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 			line.Err = sl.err.Error()
 		} else {
 			line.Cycles, line.Translations, line.Perf = sl.cycles, sl.translations, sl.perf
+			line.Counters = sl.counters
 		}
 		enc.Encode(line)
 		if flusher != nil {

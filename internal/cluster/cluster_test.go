@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"neummu/internal/counters"
 	"neummu/internal/exp"
 	"neummu/internal/figures"
 	"neummu/internal/serve"
@@ -595,5 +596,72 @@ func TestRemoteFiguresByteIdentical(t *testing.T) {
 		if figures.RemoteSafe(name) {
 			t.Errorf("%s marked remote-safe but reads beyond headline metrics", name)
 		}
+	}
+}
+
+// TestInvariantClusterCountersMatchSingleProcess is the cluster leg of the
+// invariants suite (run by cluster-smoke CI as `-run Invariant`): a 3-worker
+// coordinator's merged sweep must carry exactly the counter bundles a single
+// process produces — per row and in the summed summary line — and every
+// merged bundle must satisfy the conservation laws. Byte identity of the
+// whole body is asserted elsewhere; this test fails with the specific
+// counter discrepancy when the merge path drops or double-counts a bundle.
+func TestInvariantClusterCountersMatchSingleProcess(t *testing.T) {
+	ref := referenceBody(t, testSweep)
+	urls := make([]string, 3)
+	for i := range urls {
+		urls[i] = newWorker(t, nil).ts.URL
+	}
+	_, ts := newCoordinator(t, Config{Workers: urls})
+	resp, got := post(t, ts.URL, "/v1/sweep", testSweep)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, got)
+	}
+
+	parse := func(body []byte) ([]serve.CellRow, serve.SweepSummary) {
+		t.Helper()
+		var rows []serve.CellRow
+		var sum serve.SweepSummary
+		for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+			if bytes.Contains(line, []byte(`"summary":true`)) {
+				if err := json.Unmarshal(line, &sum); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			var row serve.CellRow
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		return rows, sum
+	}
+	refRows, refSum := parse(ref)
+	gotRows, gotSum := parse(got)
+	if len(gotRows) != len(refRows) {
+		t.Fatalf("merged %d rows, single process %d", len(gotRows), len(refRows))
+	}
+	var agg counters.Bundle
+	for i := range gotRows {
+		label := gotRows[i].Model + "/" + gotRows[i].MMU
+		if gotRows[i].Counters != refRows[i].Counters {
+			t.Errorf("row %d (%s): merged counters differ from single-process:\n got %+v\nwant %+v",
+				i, label, gotRows[i].Counters, refRows[i].Counters)
+		}
+		if v := gotRows[i].Counters.Violations(); v != nil {
+			t.Errorf("row %d (%s): merged bundle violates: %v", i, label, v)
+		}
+		agg = agg.Add(gotRows[i].Counters)
+	}
+	if gotSum.Counters != refSum.Counters {
+		t.Errorf("summary counters differ from single-process:\n got %+v\nwant %+v",
+			gotSum.Counters, refSum.Counters)
+	}
+	if gotSum.Counters != agg {
+		t.Errorf("summary counters are not the sum of the merged rows")
+	}
+	if v := gotSum.Counters.Violations(); v != nil {
+		t.Errorf("merged summary bundle violates: %v", v)
 	}
 }

@@ -89,7 +89,10 @@ func remoteCells(baseURL string, client *http.Client, points []exp.Point, opts e
 			// lowest-indexed failure — the engine's deterministic contract.
 			return nil, fmt.Errorf("%s", line.Err)
 		}
-		out[line.I] = exp.RemoteCell{Cycles: line.Cycles, Translations: line.Translations, Perf: line.Perf}
+		out[line.I] = exp.RemoteCell{
+			Cycles: line.Cycles, Translations: line.Translations,
+			Perf: line.Perf, Counters: line.Counters,
+		}
 	}
 	return out, nil
 }

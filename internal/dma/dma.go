@@ -131,6 +131,10 @@ type Engine struct {
 	pageDivergence stats.Dist // distinct pages per tile (Fig 6)
 	tiles          int
 	totalTxns      int64
+	totalSegs      int64
+	totalBytes     int64
+	totalPages     int64
+	totalStall     sim.Cycle
 
 	cur    tile
 	active bool
@@ -170,6 +174,21 @@ func (e *Engine) Tiles() int { return e.tiles }
 // Transactions returns the total transaction count across all tiles.
 func (e *Engine) Transactions() int64 { return e.totalTxns }
 
+// Segments returns the total segment count across all tiles.
+func (e *Engine) Segments() int64 { return e.totalSegs }
+
+// Bytes returns the total bytes fetched across all tiles.
+func (e *Engine) Bytes() int64 { return e.totalBytes }
+
+// DistinctPages returns the sum over tiles of distinct pages touched
+// (pages shared between tiles count once per tile, matching the per-tile
+// divergence statistic).
+func (e *Engine) DistinctPages() int64 { return e.totalPages }
+
+// StallCycles returns the total cycles the issue pipeline spent
+// back-pressured across all completed tiles.
+func (e *Engine) StallCycles() sim.Cycle { return e.totalStall }
+
 // FetchViews fetches the given tensor views as one tile: the views'
 // segments are page-split, translated, and read. done fires with the
 // tile's statistics when the last byte arrives.
@@ -188,6 +207,7 @@ func (e *Engine) FetchSegments(segs []tensor.Segment, done func(TileStats)) {
 	ps := e.mmu.Config().PageSize
 	txns := AppendTransactions(e.txnBuf[:0], segs, ps, e.Burst)
 	e.txnBuf = txns
+	e.totalSegs += int64(len(segs))
 	e.fetch(txns, ps, done)
 }
 
@@ -217,6 +237,8 @@ func (e *Engine) fetch(txns []Transaction, ps vm.PageSize, done func(TileStats))
 	}
 	e.tiles++
 	e.totalTxns += int64(len(txns))
+	e.totalBytes += ts.Bytes
+	e.totalPages += int64(ts.DistinctPages)
 	e.pageDivergence.Add(float64(ts.DistinctPages))
 
 	if len(txns) == 0 {
@@ -242,6 +264,7 @@ func (e *Engine) fireComplete(now sim.Cycle, _ int64) {
 	c.remaining--
 	if c.remaining == 0 {
 		c.ts.End = now
+		e.totalStall += c.ts.StallCycles
 		e.active = false
 		done := c.done
 		c.done = nil

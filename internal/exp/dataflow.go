@@ -49,7 +49,7 @@ func (h *Harness) DataflowStudy() ([]DataflowRow, error) {
 				}
 				cfg.Compute = cm
 				cfg.Translations = snap
-				return npu.Run(plan, cfg)
+				return h.runNPU(plan, cfg)
 			}
 			oracle, err := run(core.Oracle)
 			if err != nil {

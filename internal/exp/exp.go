@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"neummu/internal/core"
+	"neummu/internal/counters"
 	"neummu/internal/memsys"
 	"neummu/internal/npu"
 	"neummu/internal/sim"
@@ -56,6 +57,12 @@ type Options struct {
 	// (e.g. the Fig12b energy model) must run locally. Methods other
 	// than Sweep/SweepPoints always simulate in-process.
 	Remote RemoteFunc
+	// OnResult, when non-nil, observes every in-process npu simulation the
+	// harness runs — sweeps, figure studies, memoized oracle baselines (on
+	// first build) — after it completes. The invariants suite hangs its
+	// counter auditor here. Called from worker-pool goroutines, so the
+	// hook must be safe for concurrent use.
+	OnResult func(res *npu.Result)
 }
 
 // RemoteFunc evaluates an explicit point list on a remote backend,
@@ -70,6 +77,8 @@ type RemoteCell struct {
 	Cycles       int64
 	Translations int64
 	Perf         float64
+	// Counters is the worker's audited counter bundle for the cell.
+	Counters counters.Bundle
 }
 
 func (o Options) normalized() Options {
@@ -235,7 +244,19 @@ func (h *Harness) Run(model string, batch int, mmu core.Config) (*npu.Result, er
 	}
 	cfg := h.npuConfig(mmu)
 	cfg.Translations = snap
-	return npu.Run(plan, cfg)
+	return h.runNPU(plan, cfg)
+}
+
+// runNPU executes one fully configured simulation and reports the result
+// to the Options.OnResult observer. Every in-process npu simulation in
+// this package funnels through it (Run and the figure functions that
+// build bespoke configs alike), so an observer sees every study's runs.
+func (h *Harness) runNPU(plan *workloads.Plan, cfg npu.Config) (*npu.Result, error) {
+	res, err := npu.Run(plan, cfg)
+	if err == nil && h.opts.OnResult != nil {
+		h.opts.OnResult(res)
+	}
+	return res, err
 }
 
 // Oracle returns the memoized oracle run for (model, batch, pageSize).

@@ -64,7 +64,7 @@ func (h *Harness) Fig7() ([]BurstSeries, error) {
 		cfg := h.npuConfig(core.Config{Kind: core.Oracle, PageSize: vm.Page4K})
 		cfg.TimelineWindow = 1000
 		cfg.Translations = snap
-		res, err := npu.Run(plan, cfg)
+		res, err := h.runNPU(plan, cfg)
 		if err != nil {
 			return BurstSeries{}, err
 		}
@@ -293,7 +293,7 @@ func (h *Harness) Fig14(tiles int) ([]VATraceRow, error) {
 		rows = append(rows, VATraceRow{Seq: seq, VA: va})
 		seq++
 	}
-	if _, err := npu.Run(truncated, cfg); err != nil {
+	if _, err := h.runNPU(truncated, cfg); err != nil {
 		return nil, err
 	}
 	// Annotate tile boundaries: transactions per tile are equal-sized
@@ -394,7 +394,7 @@ func (h *Harness) SpatialNPU() ([]SpatialRow, error) {
 				cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
 			}
 			cfg.Translations = snap
-			return npu.Run(plan, cfg)
+			return h.runNPU(plan, cfg)
 		}
 		oracle, err := run(core.Oracle)
 		if err != nil {
@@ -460,7 +460,7 @@ func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
 				cfg.MMU = core.Config{Kind: core.Oracle, PageSize: vm.Page4K}
 			}
 			cfg.Translations = snap
-			return npu.Run(plan, cfg)
+			return h.runNPU(plan, cfg)
 		}
 		oracle, err := run(core.Oracle)
 		if err != nil {

@@ -157,7 +157,7 @@ func (h *Harness) KVCache() (*KVCacheStudy, error) {
 		r.KVTransactions += ts.WatchedTransactions
 		r.TilePages += ts.DistinctPages
 	}
-	res, err := npu.Run(truncated, cfg)
+	res, err := h.runNPU(truncated, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +231,7 @@ func (h *Harness) SeqSweep() ([]SeqSweepRow, error) {
 		run := func(mmu core.Config) (*npu.Result, error) {
 			cfg := h.npuConfig(mmu)
 			cfg.Translations = snap
-			return npu.Run(plan, cfg)
+			return h.runNPU(plan, cfg)
 		}
 		oracle, err := run(core.Config{Kind: core.Oracle, PageSize: vm.Page4K})
 		if err != nil {

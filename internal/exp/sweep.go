@@ -243,6 +243,7 @@ func (h *Harness) sweepRemote(points []Point) ([]SweepResult, error) {
 			Result: &npu.Result{
 				Model: p.Model, Batch: p.Batch, MMUKind: p.Kind,
 				Cycles: sim.Cycle(c.Cycles), Translations: c.Translations,
+				Counters: c.Counters,
 			},
 		}
 	}

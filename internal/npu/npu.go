@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"neummu/internal/core"
+	"neummu/internal/counters"
 	"neummu/internal/dma"
 	"neummu/internal/memsys"
 	"neummu/internal/sim"
@@ -99,6 +100,11 @@ type Result struct {
 	Walker walker.Stats
 	Path   walker.PathStats
 	Memory memsys.Stats
+
+	// Counters is the audited counter bundle: the stats above flattened
+	// into the standard record that travels through serve/cluster rows and
+	// that the invariants suite cross-checks (see internal/counters).
+	Counters counters.Bundle
 
 	Timeline *stats.TimeSeries
 }
@@ -262,6 +268,26 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 	res.Walker = mmu.WalkerStats()
 	res.Path = mmu.PathStats()
 	res.Memory = mem.Stats()
+	res.Counters = counters.Collect(counters.Sources{
+		MMU:    res.MMU,
+		TLB:    res.TLB,
+		Walker: res.Walker,
+		Path:   res.Path,
+		Memory: res.Memory,
+		DMA: counters.DMAStats{
+			Tiles:         int64(eng.Tiles()),
+			Segments:      eng.Segments(),
+			Transactions:  eng.Transactions(),
+			Bytes:         eng.Bytes(),
+			DistinctPages: eng.DistinctPages(),
+		},
+		Cycles: counters.CycleStats{
+			Total:    int64(res.Cycles),
+			MemPhase: int64(res.MemPhaseCycles),
+			Compute:  int64(res.ComputeCycles),
+			Stall:    int64(res.StallCycles),
+		},
+	})
 	res.Timeline = eng.Timeline
 	return res, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"neummu/internal/core"
+	"neummu/internal/counters"
 	"neummu/internal/dma"
 	"neummu/internal/embeddings"
 	"neummu/internal/memsys"
@@ -144,6 +145,12 @@ type Result struct {
 	Evictions     int64 // pages evicted under oversubscription
 
 	MMU core.Stats
+
+	// Counters is the audited counter bundle (internal/counters),
+	// cumulative over the session like MMU: memory-system counts sum the
+	// local memory and every interconnect link, and the cycle-phase fields
+	// stay zero (the case study reports Breakdown instead).
+	Counters counters.Bundle
 }
 
 // Run simulates one inference batch of the recommendation model on NPU 0
@@ -207,6 +214,8 @@ type session struct {
 	mmu          *core.MMU
 	eng          *dma.Engine
 	pg           *pager
+	localMem     *memsys.Memory
+	remoteMem    map[int]*memsys.Memory
 
 	cumulative Result // running totals the pager writes into
 }
@@ -239,6 +248,8 @@ func newSession(cfg embeddings.Config, mode Mode, mmuKind core.Kind,
 		mc.Latency = sys.LocalMemory.Latency + sys.NUMALatency
 		remoteMem[src] = memsys.New(mc, ses.q)
 	}
+	ses.localMem = localMem
+	ses.remoteMem = remoteMem
 
 	ses.eng = dma.New(ses.q, ses.mmu, localMem)
 	ses.eng.Router = func(device int) *memsys.Memory {
@@ -380,7 +391,41 @@ func (s *session) runBatch(trace []embeddings.Lookup, batch, iteration int) (*Re
 	res.Promotions = s.cumulative.Promotions - before.Promotions
 	res.Evictions = s.cumulative.Evictions - before.Evictions
 	res.MMU = s.mmu.Stats()
+	res.Counters = s.collectCounters(res.MMU)
 	return res, nil
+}
+
+// collectCounters flattens the session's cumulative component stats into
+// the standard bundle. Memory traffic sums NPU 0's local memory and every
+// interconnect link (the Router directs each translated access to exactly
+// one of them, so the sum is the system's DRAM-side view).
+func (s *session) collectCounters(mmu core.Stats) counters.Bundle {
+	mem := s.localMem.Stats()
+	mem.MaxOccupied = 0
+	for src := 1; src < 64; src++ {
+		m, ok := s.remoteMem[src]
+		if !ok {
+			continue
+		}
+		st := m.Stats()
+		mem.Accesses += st.Accesses
+		mem.Bytes += st.Bytes
+		mem.WalkReads += st.WalkReads
+	}
+	return counters.Collect(counters.Sources{
+		MMU:    mmu,
+		TLB:    s.mmu.TLBStats(),
+		Walker: s.mmu.WalkerStats(),
+		Path:   s.mmu.PathStats(),
+		Memory: mem,
+		DMA: counters.DMAStats{
+			Tiles:         int64(s.eng.Tiles()),
+			Segments:      s.eng.Segments(),
+			Transactions:  s.eng.Transactions(),
+			Bytes:         s.eng.Bytes(),
+			DistinctPages: s.eng.DistinctPages(),
+		},
+	})
 }
 
 // mapTouched maps every distinct page touched by the row VAs.

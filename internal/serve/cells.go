@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"neummu/internal/core"
+	"neummu/internal/counters"
 	"neummu/internal/exp"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
@@ -148,6 +149,10 @@ type CellLine struct {
 	Cycles       int64   `json:"cycles"`
 	Translations int64   `json:"translations"`
 	Perf         float64 `json:"normalized_perf"`
+	// Counters is the cell's audited counter bundle, carried verbatim to
+	// the coordinator so a merged sweep reproduces a single process's rows
+	// byte for byte.
+	Counters counters.Bundle `json:"counters"`
 	// Hit reports the cell was answered from this worker's cache.
 	Hit bool   `json:"hit,omitempty"`
 	Err string `json:"error,omitempty"`
@@ -171,11 +176,12 @@ func CellHash64(p exp.Point, repeatCap, tileCap int) uint64 {
 // single rendering path shared by the in-process sweep handler and the
 // cluster coordinator's merge, which is what makes a merged cluster sweep
 // byte-identical to a single-process one.
-func PointRow(p exp.Point, cycles, translations int64, perf float64) CellRow {
+func PointRow(p exp.Point, cycles, translations int64, perf float64, c counters.Bundle) CellRow {
 	return CellRow{
 		Model: p.Model, Batch: p.Batch,
 		MMU: p.Kind.String(), PageSize: p.PageSize.String(),
 		Cycles: cycles, Translations: translations, NormalizedPerf: perf,
+		Counters: c,
 	}
 }
 
@@ -294,6 +300,7 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 			line.Err = err.Error()
 		} else {
 			line.Cycles, line.Translations, line.Perf = v.Cycles, v.Translations, v.Perf
+			line.Counters = v.Counters
 		}
 		enc.Encode(line)
 		if flusher != nil {

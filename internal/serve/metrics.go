@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"neummu/internal/counters"
 	"neummu/internal/stats"
 )
 
@@ -24,6 +26,26 @@ type metrics struct {
 
 	sweepLatency  *stats.Latency
 	figureLatency *stats.Latency
+
+	// simCounters sums the audited counter bundle of every cell simulation
+	// this process executed (misses only — cache hits re-serve counters
+	// already summed here). Bundle sums are not hot-path work: one lock per
+	// simulation, not per event.
+	countersMu  sync.Mutex
+	simCounters counters.Bundle
+}
+
+// addCounters folds one simulation's bundle into the process aggregate.
+func (m *metrics) addCounters(b counters.Bundle) {
+	m.countersMu.Lock()
+	m.simCounters = m.simCounters.Add(b)
+	m.countersMu.Unlock()
+}
+
+func (m *metrics) countersSnapshot() counters.Bundle {
+	m.countersMu.Lock()
+	defer m.countersMu.Unlock()
+	return m.simCounters
 }
 
 func newMetrics() *metrics {
@@ -75,6 +97,11 @@ type Metrics struct {
 
 	SweepLatencyMS  LatencyJSON `json:"sweep_latency_ms"`
 	FigureLatencyMS LatencyJSON `json:"figure_latency_ms"`
+
+	// SimCounters is the audited counter bundle summed over every cell
+	// simulation this process executed — the operator-facing aggregate of
+	// the same record each NDJSON row carries.
+	SimCounters counters.Bundle `json:"sim_counters"`
 }
 
 func (s *Server) snapshot() Metrics {
@@ -103,6 +130,8 @@ func (s *Server) snapshot() Metrics {
 
 		SweepLatencyMS:  ToLatencyJSON(m.sweepLatency.Summary()),
 		FigureLatencyMS: ToLatencyJSON(m.figureLatency.Summary()),
+
+		SimCounters: m.countersSnapshot(),
 	}
 	if up > 0 {
 		out.CellsPerSec = float64(cells) / up

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"neummu/internal/core"
+	"neummu/internal/counters"
 	"neummu/internal/exp"
 	"neummu/internal/figures"
 	"neummu/internal/vm"
@@ -126,17 +127,20 @@ type cellKey struct {
 	tileCap   int
 }
 
-// cellValue is the cached result of one cell — just the scalars the wire
-// rows need, so a cache entry costs tens of bytes, not a full npu.Result.
+// cellValue is the cached result of one cell — the scalars the wire rows
+// need plus the flat counter bundle, so a cache entry costs hundreds of
+// bytes, not a full npu.Result.
 type cellValue struct {
 	Cycles       int64
 	Translations int64
 	Perf         float64
+	Counters     counters.Bundle
 }
 
-// cellEntryCost estimates a cell cache entry's footprint: the value, the
-// key, and the map/list bookkeeping around them.
-const cellEntryCost = 256
+// cellEntryCost estimates a cell cache entry's footprint: the value
+// (dominated by the counter bundle's ~40 int64 fields), the key, and the
+// map/list bookkeeping around them.
+const cellEntryCost = 640
 
 // figKey content-addresses one rendered figure body.
 type figKey struct {
@@ -339,13 +343,19 @@ type CellRow struct {
 	Cycles         int64   `json:"cycles"`
 	Translations   int64   `json:"translations"`
 	NormalizedPerf float64 `json:"normalized_perf"`
+	// Counters is the cell's audited counter bundle (internal/counters).
+	Counters counters.Bundle `json:"counters"`
 }
 
-// SweepSummary is the final NDJSON line of a sweep response.
+// SweepSummary is the final NDJSON line of a sweep response. Counters is
+// the field-wise sum of every row's bundle — the conservation laws are
+// linear, so the summary bundle satisfies the same invariants the per-cell
+// bundles do.
 type SweepSummary struct {
-	Summary           bool    `json:"summary"`
-	Cells             int     `json:"cells"`
-	AvgNormalizedPerf float64 `json:"avg_normalized_perf"`
+	Summary           bool            `json:"summary"`
+	Cells             int             `json:"cells"`
+	AvgNormalizedPerf float64         `json:"avg_normalized_perf"`
+	Counters          counters.Bundle `json:"counters"`
 }
 
 func parseKinds(names []string) ([]core.Kind, error) {
@@ -419,10 +429,12 @@ func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.
 				if err != nil {
 					return cellValue{}, fmt.Errorf("%s: %w", p.Label(), err)
 				}
+				s.metrics.addCounters(res.Counters)
 				return cellValue{
 					Cycles:       int64(res.Cycles),
 					Translations: res.Translations,
 					Perf:         perf,
+					Counters:     res.Counters,
 				}, nil
 			})
 		if err != nil {
@@ -469,7 +481,7 @@ func DecodeSweepRequest(w http.ResponseWriter, r *http.Request, req *SweepReques
 }
 
 func rowFor(p exp.Point, v cellValue) CellRow {
-	return PointRow(p, v.Cycles, v.Translations, v.Perf)
+	return PointRow(p, v.Cycles, v.Translations, v.Perf, v.Counters)
 }
 
 // handleSweep streams one NDJSON row per cell, in grid order, then a
@@ -499,6 +511,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sum := 0.0
+	var agg counters.Bundle
 	for i, fl := range flights {
 		v, err := fl.Wait()
 		if err != nil {
@@ -507,6 +520,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sum += v.Perf
+		agg = agg.Add(v.Counters)
 		enc.Encode(rowFor(points[i], v))
 		if flusher != nil {
 			flusher.Flush()
@@ -515,6 +529,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(SweepSummary{
 		Summary: true, Cells: len(points),
 		AvgNormalizedPerf: sum / float64(len(points)),
+		Counters:          agg,
 	})
 	s.metrics.cellsServed.Add(int64(len(points)))
 	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))

@@ -36,6 +36,17 @@ func TestPercentileTable(t *testing.T) {
 		{"uniform 1..100 qmin", uniform100, 0, 1},
 		{"q below range", uniform100, -0.5, 1},
 		{"q above range", uniform100, 1.5, 100},
+		// Exact-rank boundaries: with n=4, q=0.25 lands exactly on rank 1
+		// (ceil(1)=1) while any q just above it moves to rank 2 — the
+		// nearest-rank discontinuity must sit at the exact multiple.
+		{"exact rank boundary", []float64{1, 2, 3, 4}, 0.25, 1},
+		{"just above rank boundary", []float64{1, 2, 3, 4}, 0.2500001, 2},
+		{"exact rank boundary p75", []float64{1, 2, 3, 4}, 0.75, 3},
+		// Sign and infinity handling: sorting, not magnitude, picks ranks.
+		{"negative samples p50", []float64{-5, -1, -3}, 0.5, -3},
+		{"negative samples p0", []float64{-5, -1, -3}, 0, -5},
+		{"infinities p100", []float64{1, math.Inf(1), 2}, 1, math.Inf(1)},
+		{"infinities p0", []float64{1, math.Inf(-1), 2}, 0, math.Inf(-1)},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -43,6 +54,35 @@ func TestPercentileTable(t *testing.T) {
 				t.Errorf("Percentile(%v, %v) = %v, want %v", c.samples, c.q, got, c.want)
 			}
 		})
+	}
+}
+
+// TestPercentileNaNQuantileDoesNotPanic hardens the one input the table
+// cannot pin portably: a NaN quantile. Go's float→int conversion of NaN is
+// platform-specific, but the rank clamp must still land on a real sample —
+// never a panic, never a value outside the data.
+func TestPercentileNaNQuantileDoesNotPanic(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	got := Percentile(samples, math.NaN())
+	if got != 1 && got != 2 && got != 3 {
+		t.Errorf("Percentile(samples, NaN) = %v, not one of the samples", got)
+	}
+}
+
+// TestLatencyPartialWindow pins the summary over a window that has not
+// wrapped yet: percentiles must cover only the recorded prefix, not the
+// zero-valued remainder of the ring buffer (which would drag p50 to 0).
+func TestLatencyPartialWindow(t *testing.T) {
+	l := NewLatency(1024)
+	for _, v := range []float64{30, 10, 20} {
+		l.Record(v)
+	}
+	s := l.Summary()
+	if s.Count != 3 || s.P50 != 20 || s.P99 != 30 || s.Max != 30 {
+		t.Errorf("partial-window summary = %+v, want p50=20 p99=30 max=30", s)
+	}
+	if math.Abs(s.Mean-20) > 1e-9 {
+		t.Errorf("mean = %v, want 20", s.Mean)
 	}
 }
 

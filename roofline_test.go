@@ -84,3 +84,104 @@ func TestComputeBoundWorkloadTracksComputeRoofline(t *testing.T) {
 			res.Cycles, computeBound)
 	}
 }
+
+// TestTransformerRespectsRoofline generalizes the roofline validation to
+// the transformer suite: encoder GEMM/attention pipelines and TF-2's
+// autoregressive decode must respect both the bandwidth bound and the MAC
+// bound, with the MAC bound derived analytically from MACCount (whose
+// decode-step arithmetic TestDecodeStepMACBoundPinned pins).
+func TestTransformerRespectsRoofline(t *testing.T) {
+	const (
+		peakMACs = 128 * 128
+		bwBytes  = 600
+		batch    = 2
+	)
+	for _, model := range TransformerModels() {
+		m, err := workloads.ByName(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(model, batch, OracleMMU, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwBound := res.BytesFetched / bwBytes
+		macBound := int64(batch) * workloads.MACCount(m) / peakMACs
+		if int64(res.Cycles) < bwBound {
+			t.Errorf("%s: %d cycles beats the bandwidth roofline %d", model, res.Cycles, bwBound)
+		}
+		if int64(res.Cycles) < macBound {
+			t.Errorf("%s: %d cycles beats the compute roofline %d", model, res.Cycles, macBound)
+		}
+		// The double-buffered pipeline should land within a loose factor of
+		// the binding roofline, as in the dense suite.
+		bound := max(bwBound, macBound)
+		if int64(res.Cycles) > 16*bound {
+			t.Errorf("%s: %d cycles is far off the %d-cycle roofline", model, res.Cycles, bound)
+		}
+	}
+}
+
+// TestDecodeStepMACBoundPinned pins the subtle part of the transformer MAC
+// bound: autoregressive decode. Step i scores one query against
+// CtxLen+i+1 tokens, so attention MACs follow an arithmetic series —
+// MACCount's closed form must equal the literal per-step sum — while the
+// per-step projections repeat with WeightReuse, multiplying MACs but NOT
+// parameters.
+func TestDecodeStepMACBoundPinned(t *testing.T) {
+	const blocks, d, heads, ff, past, steps = 2, 64, 4, 256, 32, 8
+	m := workloads.TransformerDecoder("pin", blocks, d, heads, ff, past, steps)
+
+	// Independent re-derivation, per-step loop instead of closed form.
+	var want int64
+	for _, l := range m.Layers {
+		var per int64
+		switch l.Kind {
+		case workloads.GEMM:
+			per = int64(l.M) * int64(l.KDim) * int64(l.N)
+		case workloads.LayerNorm:
+			per = 2 * int64(l.SeqLen) * int64(l.DModel)
+		case workloads.Attention:
+			for i := 0; i < l.DecodeSteps; i++ {
+				ctx := int64(l.CtxLen + i + 1)
+				per += 2 * int64(l.DModel) * ctx // QKᵀ + AV, one query token
+			}
+		}
+		want += per * int64(l.Times())
+	}
+	if got := workloads.MACCount(m); got != want {
+		t.Fatalf("decode MACCount = %d, per-step sum = %d", got, want)
+	}
+
+	// WeightReuse: generating 8 tokens must cost 8x the attention+GEMM MACs
+	// of generating 1, but exactly the same parameters.
+	one := workloads.TransformerDecoder("pin1", blocks, d, heads, ff, past, 1)
+	if workloads.ParamCount(m) != workloads.ParamCount(one) {
+		t.Fatalf("decode steps changed the parameter count: %d steps -> %d params, 1 step -> %d",
+			steps, workloads.ParamCount(m), workloads.ParamCount(one))
+	}
+	if workloads.MACCount(m) <= workloads.MACCount(one) {
+		t.Fatalf("more decode steps must mean more MACs (%d vs %d)",
+			workloads.MACCount(m), workloads.MACCount(one))
+	}
+}
+
+// TestEmbeddingGatherRespectsBandwidthRoofline: the gather phase of the
+// recommendation suite can never beat the platform's aggregate bandwidth —
+// local DRAM (600 B/cy) plus the three remote NPU links (160 B/cy each in
+// the NUMA-fast fabric of Table I).
+func TestEmbeddingGatherRespectsBandwidthRoofline(t *testing.T) {
+	const aggBW = 600 + 3*160
+	for _, model := range SparseModels() {
+		res, err := SimulateSparse(model, 64, GatherNUMAFast, ThroughputNeuMMU, Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := res.BytesGathered / aggBW
+		lookup := int64(res.Breakdown.EmbeddingLookup)
+		if lookup < bound {
+			t.Errorf("%s: gather phase %d cycles beats the %d-cycle aggregate-bandwidth roofline (%d bytes)",
+				model, lookup, bound, res.BytesGathered)
+		}
+	}
+}
