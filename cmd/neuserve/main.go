@@ -33,9 +33,21 @@
 //	     localhost:8077/v1/sweep                         # NDJSON stream
 //	curl localhost:8077/metrics                          # ops counters
 //
+// Durability: -store-dir gives the process a disk tier. A worker keeps a
+// content-addressed result store behind its RAM cache (bounded by
+// -store-bytes, GC'd coldest-first), so a restarted worker answers
+// previously simulated cells from disk without re-simulating; a
+// coordinator journals each sweep's per-cell completion there, so a
+// restarted coordinator — or a client retrying the same request — resumes
+// from the last durable cell:
+//
+//	neuserve -addr :8081 -store-dir /var/cache/neuserve/w1 &
+//	neuserve -role coordinator -addr :8080 -store-dir /var/cache/neuserve/coord \
+//	         -peers http://127.0.0.1:8081
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
-// (bounded by -drain-timeout), queued jobs finish, then the process
-// exits.
+// (bounded by -drain-timeout), queued jobs finish, and pending disk-tier
+// writes are drained to disk before the process exits.
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 
 	"neummu/internal/cluster"
 	"neummu/internal/serve"
+	"neummu/internal/store"
 )
 
 func main() {
@@ -65,6 +78,12 @@ func main() {
 		figMB   = flag.Int("fig-cache-mb", 0, "rendered-figure cache bound in MiB (0 = 16)")
 		cells   = flag.Int("max-cells", 0, "per-request sweep cell bound (0 = 4096)")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+
+		// Durability flags. -store-dir is meaningful for both roles: a
+		// worker keeps its disk result tier there, a coordinator its sweep
+		// journals.
+		storeDir   = flag.String("store-dir", "", "durable state directory: worker result store / coordinator sweep journals ('' = RAM-only)")
+		storeBytes = flag.Int64("store-bytes", 0, "worker disk result-store byte budget, coldest cells evicted first (0 = 256 MiB)")
 
 		// Coordinator-role flags.
 		peers    = flag.String("peers", "", "coordinator: comma-separated worker base URLs")
@@ -81,7 +100,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	coordOnly := []string{"peers", "replicas", "retries", "shard-timeout", "health-interval"}
-	workerOnly := []string{"workers", "shards", "queue", "cache-mb", "fig-cache-mb"}
+	workerOnly := []string{"workers", "shards", "queue", "cache-mb", "fig-cache-mb", "store-bytes"}
 	misuse := func(names []string, why string) {
 		for _, n := range names {
 			if set[n] {
@@ -100,6 +119,15 @@ func main() {
 	var closeFn func()
 	switch *role {
 	case "", "worker":
+		var st *store.Store
+		if *storeDir != "" {
+			var err error
+			st, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeBytes})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "neuserve: opening -store-dir:", err)
+				os.Exit(1)
+			}
+		}
 		s := serve.New(serve.Config{
 			Workers:            *workers,
 			Shards:             *shards,
@@ -107,8 +135,16 @@ func main() {
 			CacheBytes:         int64(*cacheMB) << 20,
 			FigureCacheBytes:   int64(*figMB) << 20,
 			MaxCellsPerRequest: *cells,
+			Store:              st,
 		})
-		handler, closeFn = s, s.Close
+		handler, closeFn = s, func() {
+			// Drain-to-disk: the server flushes queued scheduler jobs and
+			// pending store writes, then the store itself closes.
+			s.Close()
+			if st != nil {
+				st.Close()
+			}
+		}
 	case "coordinator":
 		if *peers == "" {
 			fmt.Fprintln(os.Stderr, "neuserve: -role coordinator requires -peers")
@@ -121,6 +157,7 @@ func main() {
 			ShardTimeout:       *shardTO,
 			HealthInterval:     *healthIv,
 			MaxCellsPerRequest: *cells,
+			JournalDir:         *storeDir,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "neuserve:", err)

@@ -79,6 +79,15 @@ type Config struct {
 	HealthInterval time.Duration
 	// MaxCellsPerRequest bounds one sweep request's grid (0 = 4096).
 	MaxCellsPerRequest int
+	// JournalDir enables sweep checkpointing when non-empty: every sweep's
+	// completed cells are journaled there (one file per request hash), a
+	// restarted coordinator — or a retry of the same request — resumes from
+	// the last durable cell, and a journal-complete sweep is answerable
+	// with zero healthy workers. See journal.go for format and policy.
+	JournalDir string
+	// JournalKeep bounds how many sweep journals the directory retains,
+	// oldest evicted first (0 = 64).
+	JournalKeep int
 	// Client optionally overrides the HTTP client used for worker traffic
 	// and health probes (tests inject httptest clients; nil = a client
 	// suited to long streaming responses).
@@ -100,6 +109,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxCellsPerRequest <= 0 {
 		c.MaxCellsPerRequest = 4096
+	}
+	if c.JournalKeep <= 0 {
+		c.JournalKeep = 64
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{} // no global timeout: shard ctx bounds each call
@@ -125,6 +137,8 @@ type Coordinator struct {
 	cellsServed  atomic.Int64
 	reroutes     atomic.Int64
 	noWorkers    atomic.Int64
+	journalCells atomic.Int64 // cells answered from a sweep journal
+	resumes      atomic.Int64 // sweeps that found journaled progress
 	sweepLatency *stats.Latency
 
 	// harnesses memoizes one expansion harness per effort through the
@@ -206,23 +220,42 @@ func (s *slot) fail(err error) {
 
 // runCells shards the points across healthy workers by consistent hash
 // and dispatches each shard; slots resolve as worker lines stream back.
-func (c *Coordinator) runCells(ctx context.Context, h *exp.Harness, points []exp.Point) ([]*slot, error) {
+// Cells present in journaled (a previous run's checkpoint, keyed by grid
+// index) resolve immediately and are never dispatched — a sweep whose
+// journal is complete succeeds with zero healthy workers. jr, when
+// non-nil, receives every newly completed cell.
+func (c *Coordinator) runCells(ctx context.Context, h *exp.Harness, points []exp.Point,
+	journaled map[int]serve.CellLine, jr *journal) ([]*slot, error) {
+	slots := make([]*slot, len(points))
+	remaining := make([]int, 0, len(points))
+	for i := range slots {
+		slots[i] = &slot{done: make(chan struct{}), attempts: 1}
+		if cl, ok := journaled[i]; ok {
+			sl := slots[i]
+			sl.cycles, sl.translations, sl.perf = cl.Cycles, cl.Translations, cl.Perf
+			sl.counters = cl.Counters
+			sl.hit = true
+			close(sl.done)
+			continue
+		}
+		remaining = append(remaining, i)
+	}
+	c.journalCells.Add(int64(len(points) - len(remaining)))
+	if len(remaining) == 0 {
+		return slots, nil
+	}
 	if c.pool.healthyCount() == 0 {
 		c.noWorkers.Add(1)
 		return nil, ErrNoWorkers
 	}
-	slots := make([]*slot, len(points))
-	for i := range slots {
-		slots[i] = &slot{done: make(chan struct{}), attempts: 1}
-	}
-	groups, err := c.plan(h, points, nil)
+	groups, err := c.plan(h, points, remaining)
 	if err != nil {
 		c.noWorkers.Add(1)
 		return nil, err
 	}
 	eff := effortOf(h)
 	for url, idxs := range groups {
-		go c.dispatch(ctx, h, points, slots, url, idxs, eff)
+		go c.dispatch(ctx, h, points, slots, url, idxs, eff, jr)
 	}
 	return slots, nil
 }
@@ -268,7 +301,7 @@ func effortOf(h *exp.Harness) serve.CellsRequest {
 // resolved are re-routed to the remaining healthy workers; cells the
 // worker already answered keep their results.
 func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp.Point,
-	slots []*slot, url string, idxs []int, eff serve.CellsRequest) {
+	slots []*slot, url string, idxs []int, eff serve.CellsRequest, jr *journal) {
 	w := c.pool.byURL[url]
 	w.shards.Add(1)
 	w.cells.Add(int64(len(idxs)))
@@ -303,7 +336,7 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 				missing = append(missing, i)
 			}
 		}
-		c.reroute(ctx, h, points, slots, w, missing, cause, eff)
+		c.reroute(ctx, h, points, slots, w, missing, cause, eff, jr)
 	}
 
 	httpReq, err := http.NewRequestWithContext(shardCtx, "POST", url+"/v1/cells", bytes.NewReader(body))
@@ -358,6 +391,15 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 		sl.cycles, sl.translations, sl.perf, sl.hit = line.Cycles, line.Translations, line.Perf, line.Hit
 		sl.counters = line.Counters
 		close(sl.done)
+		if jr != nil {
+			// Checkpoint after resolving the slot: the append is dispatch-
+			// goroutine work, never on the client-stream path. I is
+			// rewritten to the global grid index the journal is keyed by.
+			jr.appendCell(serve.CellLine{
+				I: idxs[line.I], Cycles: line.Cycles, Translations: line.Translations,
+				Perf: line.Perf, Counters: line.Counters,
+			})
+		}
 	}
 }
 
@@ -366,7 +408,7 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 // retry budget is spent. A cancelled client context fails the cells
 // without blaming the worker — a hung-up client is not a fleet problem.
 func (c *Coordinator) reroute(ctx context.Context, h *exp.Harness, points []exp.Point,
-	slots []*slot, w *workerState, missing []int, cause error, eff serve.CellsRequest) {
+	slots []*slot, w *workerState, missing []int, cause error, eff serve.CellsRequest, jr *journal) {
 	if len(missing) == 0 {
 		return
 	}
@@ -402,7 +444,7 @@ func (c *Coordinator) reroute(ctx context.Context, h *exp.Harness, points []exp.
 		return
 	}
 	for url, idxs := range groups {
-		go c.dispatch(ctx, h, points, slots, url, idxs, eff)
+		go c.dispatch(ctx, h, points, slots, url, idxs, eff, jr)
 	}
 }
 
@@ -444,7 +486,21 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	slots, err := c.runCells(r.Context(), h, points)
+	// Checkpointing: resume from (and append to) this request's journal.
+	// Journaling is best-effort — an unwritable journal directory degrades
+	// to a journal-less sweep, never to a failed one.
+	var jr *journal
+	var journaled map[int]serve.CellLine
+	if c.cfg.JournalDir != "" {
+		if j, done, err := openJournal(c.cfg.JournalDir, c.cfg.JournalKeep, req, len(points)); err == nil {
+			jr, journaled = j, done
+			defer jr.close()
+			if len(done) > 0 {
+				c.resumes.Add(1)
+			}
+		}
+	}
+	slots, err := c.runCells(r.Context(), h, points, journaled, jr)
 	if err != nil {
 		c.reject(w, err)
 		return
@@ -510,7 +566,7 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 			len(points)), http.StatusBadRequest)
 		return
 	}
-	slots, err := c.runCells(r.Context(), h, points)
+	slots, err := c.runCells(r.Context(), h, points, nil, nil)
 	if err != nil {
 		c.reject(w, err)
 		return
@@ -549,7 +605,7 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := c.harnesses.Get(serve.Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
-	slots, err := c.runCells(r.Context(), h, points)
+	slots, err := c.runCells(r.Context(), h, points, nil, nil)
 	if err != nil {
 		c.reject(w, err)
 		return
@@ -595,6 +651,12 @@ type Metrics struct {
 	CellsServed    int64   `json:"cells_served"`
 	CellsRerouted  int64   `json:"cells_rerouted"`
 	NoWorkerErrors int64   `json:"no_worker_errors"`
+	// JournalEnabled reports sweep checkpointing is on; CellsFromJournal
+	// counts cells answered from a previous run's checkpoint without any
+	// dispatch; SweepsResumed counts sweeps that found journaled progress.
+	JournalEnabled   bool  `json:"journal_enabled"`
+	CellsFromJournal int64 `json:"cells_from_journal"`
+	SweepsResumed    int64 `json:"sweeps_resumed"`
 
 	WorkersTotal   int             `json:"workers_total"`
 	WorkersHealthy int             `json:"workers_healthy"`
@@ -606,16 +668,19 @@ type Metrics struct {
 // Metrics snapshots the coordinator's operational state.
 func (c *Coordinator) Metrics() Metrics {
 	return Metrics{
-		UptimeSec:      time.Since(c.start).Seconds(),
-		Requests:       c.requests.Load(),
-		Sweeps:         c.sweeps.Load(),
-		CellsServed:    c.cellsServed.Load(),
-		CellsRerouted:  c.reroutes.Load(),
-		NoWorkerErrors: c.noWorkers.Load(),
-		WorkersTotal:   len(c.pool.workers),
-		WorkersHealthy: c.pool.healthyCount(),
-		Workers:        c.pool.metrics(),
-		SweepLatencyMS: serve.ToLatencyJSON(c.sweepLatency.Summary()),
+		UptimeSec:        time.Since(c.start).Seconds(),
+		Requests:         c.requests.Load(),
+		Sweeps:           c.sweeps.Load(),
+		CellsServed:      c.cellsServed.Load(),
+		CellsRerouted:    c.reroutes.Load(),
+		NoWorkerErrors:   c.noWorkers.Load(),
+		JournalEnabled:   c.cfg.JournalDir != "",
+		CellsFromJournal: c.journalCells.Load(),
+		SweepsResumed:    c.resumes.Load(),
+		WorkersTotal:     len(c.pool.workers),
+		WorkersHealthy:   c.pool.healthyCount(),
+		Workers:          c.pool.metrics(),
+		SweepLatencyMS:   serve.ToLatencyJSON(c.sweepLatency.Summary()),
 	}
 }
 

@@ -3,8 +3,17 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 )
+
+// ErrComputePanic is the error a Flight resolves with when its winning
+// compute closure panicked (e.g. died partway through disk-tier work).
+// The recovered panic value is attached with %w wrapping. Like any other
+// compute error it is not cached: joiners all observe it, and the next
+// Resolve for the key starts a fresh computation.
+var ErrComputePanic = errors.New("serve: compute panicked")
 
 // Cache is the content-addressed result cache: a byte-size-bounded LRU
 // over comparable struct keys, with in-flight deduplication. It follows
@@ -145,7 +154,7 @@ func (c *Cache[K, V]) Resolve(ctx context.Context, key K, schedule func(run func
 			return
 		}
 		c.mu.Unlock()
-		v, err := compute()
+		v, err := protect(compute)
 		fl.v, fl.err = v, err
 		c.mu.Lock()
 		delete(c.inflight, key)
@@ -167,6 +176,20 @@ func (c *Cache[K, V]) Resolve(ctx context.Context, key K, schedule func(run func
 		return nil, err
 	}
 	return fl, nil
+}
+
+// protect runs a compute closure, converting a panic into ErrComputePanic
+// so a compute that dies partway (the disk tier put file I/O inside the
+// closure) resolves its flight like any failed compute: joiners unblock
+// with the error, nothing is cached, the inflight slot is released, and
+// the scheduler worker that ran it survives to drain its queue.
+func protect[V any](compute func() (V, error)) (v V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrComputePanic, r)
+		}
+	}()
+	return compute()
 }
 
 // add inserts a computed value and evicts from the LRU tail until the

@@ -7,6 +7,7 @@ import (
 
 	"neummu/internal/counters"
 	"neummu/internal/stats"
+	"neummu/internal/store"
 )
 
 // metrics aggregates the service's operational counters. Latencies are
@@ -89,11 +90,17 @@ type Metrics struct {
 	CellsPerSec     float64 `json:"cells_per_sec"`
 	SimulatedPerSec float64 `json:"simulated_per_sec"`
 
-	CellCache     CacheStats `json:"cell_cache"`
-	CellHitRate   float64    `json:"cell_cache_hit_rate"`
-	FigureCache   CacheStats `json:"figure_cache"`
-	FiguresServed int64      `json:"figures_served"`
-	FiguresBuilt  int64      `json:"figures_built"`
+	CellCache   CacheStats `json:"cell_cache"`
+	CellHitRate float64    `json:"cell_cache_hit_rate"`
+	// DiskTier reports the durable result tier (internal/store) when one
+	// is configured: hits/misses, write-behind progress, GC evictions, and
+	// quarantined-corrupt counts. Zero-valued when DiskTierEnabled is
+	// false.
+	DiskTierEnabled bool        `json:"disk_tier_enabled"`
+	DiskTier        store.Stats `json:"disk_tier"`
+	FigureCache     CacheStats  `json:"figure_cache"`
+	FiguresServed   int64       `json:"figures_served"`
+	FiguresBuilt    int64       `json:"figures_built"`
 
 	SweepLatencyMS  LatencyJSON `json:"sweep_latency_ms"`
 	FigureLatencyMS LatencyJSON `json:"figure_latency_ms"`
@@ -132,6 +139,10 @@ func (s *Server) snapshot() Metrics {
 		FigureLatencyMS: ToLatencyJSON(m.figureLatency.Summary()),
 
 		SimCounters: m.countersSnapshot(),
+	}
+	if s.store != nil {
+		out.DiskTierEnabled = true
+		out.DiskTier = s.store.Stats()
 	}
 	if up > 0 {
 		out.CellsPerSec = float64(cells) / up

@@ -44,6 +44,7 @@ import (
 	"neummu/internal/counters"
 	"neummu/internal/exp"
 	"neummu/internal/figures"
+	"neummu/internal/store"
 	"neummu/internal/vm"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 	FigureCacheBytes int64
 	// MaxCellsPerRequest bounds one sweep request's grid (0 = 4096).
 	MaxCellsPerRequest int
+	// Store is the optional durable tier behind the cell cache (nil =
+	// RAM-only). On a cell-cache miss the store is consulted before
+	// simulating, and every simulated cell is persisted write-behind, so
+	// a process restart starts disk-warm instead of cold. The caller owns
+	// the store's lifecycle (open it before New, close it after Close);
+	// Server.Close drains pending writes to disk.
+	Store *store.Store
 }
 
 func (c Config) normalized() Config {
@@ -129,12 +137,15 @@ type cellKey struct {
 
 // cellValue is the cached result of one cell — the scalars the wire rows
 // need plus the flat counter bundle, so a cache entry costs hundreds of
-// bytes, not a full npu.Result.
+// bytes, not a full npu.Result. The JSON tags are the disk-tier value
+// format: a persisted cell decodes bit-exactly (ints are exact, float64
+// survives JSON's shortest-form round trip), which is what keeps
+// disk-warm sweep bodies byte-identical to cold ones.
 type cellValue struct {
-	Cycles       int64
-	Translations int64
-	Perf         float64
-	Counters     counters.Bundle
+	Cycles       int64           `json:"cycles"`
+	Translations int64           `json:"translations"`
+	Perf         float64         `json:"perf"`
+	Counters     counters.Bundle `json:"counters"`
 }
 
 // cellEntryCost estimates a cell cache entry's footprint: the value
@@ -157,6 +168,7 @@ type Server struct {
 	sched   *Scheduler
 	cells   *Cache[cellKey, cellValue]
 	figs    *Cache[figKey, []byte]
+	store   *store.Store // nil = RAM-only
 	seed    maphash.Seed
 	metrics *metrics
 	mux     *http.ServeMux
@@ -174,6 +186,7 @@ func New(cfg Config) *Server {
 			func(cellValue) int64 { return cellEntryCost }),
 		figs: NewCache[figKey, []byte](cfg.FigureCacheBytes,
 			func(b []byte) int64 { return int64(len(b)) + 128 }),
+		store:     cfg.Store,
 		seed:      maphash.MakeSeed(),
 		metrics:   newMetrics(),
 		harnesses: NewHarnessCache(cfg.Workers),
@@ -196,10 +209,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the scheduler after letting queued jobs drain. Call it
-// after the HTTP server has shut down, so no request is left waiting on a
-// job the scheduler will never run.
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the scheduler after letting queued jobs drain, then drains
+// the disk tier's write-behind queue so every drained job's result is
+// durable (the SIGTERM drain-to-disk path). Call it after the HTTP
+// server has shut down, so no request is left waiting on a job the
+// scheduler will never run. The store itself stays open — its owner
+// closes it.
+func (s *Server) Close() {
+	s.sched.Close()
+	if s.store != nil {
+		s.store.Flush()
+	}
+}
 
 // Metrics snapshots the service's operational state (the /metrics body).
 func (s *Server) Metrics() Metrics { return s.snapshot() }
@@ -424,18 +445,26 @@ func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.
 		fl, err := s.cells.Resolve(ctx, key,
 			func(run func()) error { return s.sched.Submit(hash, run) },
 			func() (cellValue, error) {
+				// RAM miss: the durable tier answers before a simulation is
+				// spent. Disk hits bypass the simulated counter and the
+				// counter aggregate — both book only work this process did.
+				if v, ok := s.diskGet(key); ok {
+					return v, nil
+				}
 				s.metrics.simulated.Add(1)
 				perf, res, err := h.NormPerf(p.Model, p.Batch, p.MMU())
 				if err != nil {
 					return cellValue{}, fmt.Errorf("%s: %w", p.Label(), err)
 				}
 				s.metrics.addCounters(res.Counters)
-				return cellValue{
+				v := cellValue{
 					Cycles:       int64(res.Cycles),
 					Translations: res.Translations,
 					Perf:         perf,
 					Counters:     res.Counters,
-				}, nil
+				}
+				s.diskPut(key, v)
+				return v, nil
 			})
 		if err != nil {
 			return nil, 0, err

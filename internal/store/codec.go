@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+)
+
+// The on-disk cell format, version 1. One file holds one entry:
+//
+//	neustore1 <keylen> <vallen> <crc32c-hex>\n
+//	<key bytes><value bytes>
+//
+// The header is a single ASCII line so a corrupt file is inspectable with
+// cat; the checksum is CRC-32C (Castagnoli) over key followed by value.
+// Decode trusts nothing: magic, field count, length arithmetic, and the
+// checksum are all verified before a byte of payload is returned, and any
+// violation is ErrCorrupt — the store's cue to quarantine the file and
+// let the caller re-simulate rather than serve bad bytes.
+
+// magic is the format tag and version; bumping the version changes the
+// tag, so an old store directory reads as corrupt (quarantined and
+// re-simulated) instead of being misparsed.
+const magic = "neustore1"
+
+// maxEntryLen bounds one entry's key+value payload (16 MiB). Real cell
+// entries are hundreds of bytes; the bound keeps a corrupt header from
+// asking Decode (or a fuzzer) to allocate gigabytes.
+const maxEntryLen = 16 << 20
+
+// ErrCorrupt is returned by Decode for any malformed, truncated, or
+// checksum-failing entry. The detail is attached with %w wrapping.
+var ErrCorrupt = fmt.Errorf("store: corrupt entry")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one decoded cell record: the canonical key bytes that identify
+// the cell (collision defense for the 64-bit file name) and the value
+// bytes the serving layer cached.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Encode renders an entry in the on-disk format.
+func Encode(e Entry) []byte {
+	sum := crc32.Update(crc32.Checksum(e.Key, castagnoli), castagnoli, e.Value)
+	var buf bytes.Buffer
+	buf.Grow(len(magic) + 32 + len(e.Key) + len(e.Value))
+	fmt.Fprintf(&buf, "%s %d %d %08x\n", magic, len(e.Key), len(e.Value), sum)
+	buf.Write(e.Key)
+	buf.Write(e.Value)
+	return buf.Bytes()
+}
+
+// Decode parses and verifies an encoded entry. The returned slices alias
+// b. Every failure mode — wrong magic, malformed header, length mismatch,
+// oversized payload, trailing garbage, checksum mismatch — is ErrCorrupt.
+func Decode(b []byte) (Entry, error) {
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return Entry{}, fmt.Errorf("%w: no header line", ErrCorrupt)
+	}
+	var gotMagic string
+	var keyLen, valLen int
+	var sum uint32
+	header := string(b[:nl])
+	n, err := fmt.Sscanf(header, "%s %d %d %08x", &gotMagic, &keyLen, &valLen, &sum)
+	if err != nil || n != 4 {
+		return Entry{}, fmt.Errorf("%w: bad header %q", ErrCorrupt, header)
+	}
+	if gotMagic != magic {
+		return Entry{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic)
+	}
+	if keyLen < 0 || valLen < 0 || keyLen+valLen > maxEntryLen {
+		return Entry{}, fmt.Errorf("%w: bad lengths %d+%d", ErrCorrupt, keyLen, valLen)
+	}
+	// Canonical-form check: Sscanf is lenient (leading zeros, plus signs,
+	// extra whitespace), but the format has exactly one valid spelling per
+	// entry — reject the rest so no accidental second wire format exists.
+	if header != fmt.Sprintf("%s %d %d %08x", magic, keyLen, valLen, sum) {
+		return Entry{}, fmt.Errorf("%w: non-canonical header %q", ErrCorrupt, header)
+	}
+	payload := b[nl+1:]
+	if len(payload) != keyLen+valLen {
+		return Entry{}, fmt.Errorf("%w: payload is %d bytes, header says %d",
+			ErrCorrupt, len(payload), keyLen+valLen)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return Entry{}, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, sum)
+	}
+	return Entry{Key: payload[:keyLen], Value: payload[keyLen:]}, nil
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []Entry{
+		{Key: []byte("k"), Value: []byte("v")},
+		{Key: []byte{}, Value: []byte{}},
+		{Key: []byte("a key with spaces"), Value: bytes.Repeat([]byte{0, 1, 2, 0xff}, 100)},
+		{Key: nil, Value: []byte(`{"json":true}`)},
+	}
+	for _, e := range cases {
+		got, err := Decode(Encode(e))
+		if err != nil {
+			t.Fatalf("decode(encode(%q)): %v", e.Key, err)
+		}
+		if !bytes.Equal(got.Key, e.Key) || !bytes.Equal(got.Value, e.Value) {
+			t.Fatalf("roundtrip mismatch: %q/%q -> %q/%q", e.Key, e.Value, got.Key, got.Value)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, Config{})
+	key, val := []byte("cell-key"), []byte("cell-value")
+	if _, ok := s.Get(1, key); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(1, key, val)
+	// Readable immediately, before the writer persists it.
+	if got, ok := s.Get(1, key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("dirty read = %q, %v", got, ok)
+	}
+	s.Flush()
+	if got, ok := s.Get(1, key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("durable read = %q, %v", got, ok)
+	}
+	// A different key at the same hash (collision) must miss, not serve
+	// the other cell's bytes.
+	if _, ok := s.Get(1, []byte("other-key")); ok {
+		t.Fatal("hash collision served wrong cell")
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(uint64(i), []byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	s.Close() // drain-to-disk
+
+	s2 := open(t, Config{Dir: dir})
+	for i := 0; i < 10; i++ {
+		got, ok := s2.Get(uint64(i), []byte(fmt.Sprintf("key-%d", i)))
+		if !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("cell %d after reopen = %q, %v", i, got, ok)
+		}
+	}
+	if st := s2.Stats(); st.Entries != 10 || st.Hits != 10 {
+		t.Fatalf("stats after reopen = %+v", st)
+	}
+}
+
+func TestOverwriteLastPutWins(t *testing.T) {
+	s := open(t, Config{})
+	key := []byte("k")
+	s.Put(7, key, []byte("old"))
+	s.Put(7, key, []byte("new"))
+	s.Flush()
+	if got, ok := s.Get(7, key); !ok || string(got) != "new" {
+		t.Fatalf("got %q, %v, want new", got, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestEvictionColdestFirst(t *testing.T) {
+	// Each entry is ~60 bytes encoded; budget for about 3.
+	s := open(t, Config{MaxBytes: 200})
+	for i := 0; i < 3; i++ {
+		s.Put(uint64(i), []byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte("v"), 30))
+	}
+	s.Flush()
+	// Touch cell 0 so it is hottest; cell 1 becomes the coldest.
+	if _, ok := s.Get(0, []byte("key-0")); !ok {
+		t.Fatal("cell 0 missing before eviction")
+	}
+	s.Put(3, []byte("key-3"), bytes.Repeat([]byte("v"), 30))
+	s.Flush()
+	if _, ok := s.Get(1, []byte("key-1")); ok {
+		t.Fatal("coldest cell survived eviction")
+	}
+	if _, ok := s.Get(0, []byte("key-0")); !ok {
+		t.Fatal("hottest cell was evicted")
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st.Bytes > 200 {
+		t.Fatalf("over budget after flush: %+v", st)
+	}
+}
+
+func TestReopenEvictsOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(uint64(i), []byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte("v"), 50))
+	}
+	s.Close()
+
+	s2 := open(t, Config{Dir: dir, MaxBytes: 250})
+	st := s2.Stats()
+	if st.Bytes > 250 {
+		t.Fatalf("reopen left store over budget: %+v", st)
+	}
+	if st.Entries == 0 || st.Entries == 10 {
+		t.Fatalf("reopen evicted to %d entries, want between 1 and 9", st.Entries)
+	}
+}
+
+func TestCloseIsIdempotentAndDisables(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(1, []byte("k"), []byte("v"))
+	s.Close()
+	s.Close()
+	s.Flush() // no-op, must not panic or hang
+	s.Put(2, []byte("k2"), []byte("v2"))
+	if _, ok := s.Get(2, []byte("k2")); ok {
+		t.Fatal("put after close was stored")
+	}
+	// The pre-close put was drained to disk.
+	if _, err := os.Stat(filepath.Join(dir, fileName(1))); err != nil {
+		t.Fatalf("pre-close put not durable: %v", err)
+	}
+}
+
+func TestForeignFilesIgnoredAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"README", "cell-zzzz.neu", "cell-0000000000000001.neu.quarantine",
+		"cell-0000000000000002.neu.tmp", "cell-1.neu",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := open(t, Config{Dir: dir})
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("indexed %d foreign files: %+v", st.Entries, st)
+	}
+}

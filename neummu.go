@@ -33,6 +33,7 @@ import (
 	"neummu/internal/numa"
 	"neummu/internal/serve"
 	"neummu/internal/spatial"
+	"neummu/internal/store"
 	"neummu/internal/systolic"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
@@ -235,6 +236,22 @@ type ServerConfig = serve.Config
 // NewServer returns a simulation service ready to mount on any HTTP mux.
 // Call Close after the HTTP server has drained to stop the scheduler.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// Store is the durable result tier behind a Server's RAM cache: one
+// checksummed, content-addressed file per simulated cell, written behind
+// the request path and GC'd coldest-first to a byte budget, so a
+// restarted process answers previously simulated cells from disk instead
+// of re-simulating. Corrupt entries are quarantined and re-simulated,
+// never served. See internal/store for the file format and policy.
+type Store = store.Store
+
+// StoreConfig tunes a Store: directory, byte budget, write-queue depth.
+type StoreConfig = store.Config
+
+// OpenStore opens (or creates) a durable result store. Hand it to a
+// Server via ServerConfig.Store; the caller owns its lifecycle and calls
+// Close after the Server has closed.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
 
 // Coordinator is the scale-out front of a neuserve fleet: an http.Handler
 // accepting the same sweep API as a Server, sharding the expanded grid
