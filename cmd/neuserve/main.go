@@ -32,6 +32,8 @@
 //	curl -d '{"quick":true,"mmus":["iommu","neummu"]}' \
 //	     localhost:8077/v1/sweep                         # NDJSON stream
 //	curl localhost:8077/metrics                          # ops counters
+//	curl localhost:8077/metrics?format=prometheus        # same, for scrapers
+//	curl localhost:8077/debug/traces                     # recent traces + slow cells
 //
 // Durability: -store-dir gives the process a disk tier. A worker keeps a
 // content-addressed result store behind its RAM cache (bounded by
@@ -45,6 +47,15 @@
 //	neuserve -role coordinator -addr :8080 -store-dir /var/cache/neuserve/coord \
 //	         -peers http://127.0.0.1:8081
 //
+// Observability: every request is traced end to end. An inbound
+// X-Trace-Id is honored (one is minted otherwise), propagated to workers
+// on cluster dispatch, and echoed on the response; per-cell spans with
+// per-stage latency attribution are served from GET /debug/traces.
+// Request logs are structured (logfmt by default, -log-json for JSON
+// lines) and carry the trace ID. -debug-addr starts a separate listener
+// with net/http/pprof for CPU/heap profiling, kept off the service port
+// so profiling is never exposed to clients by accident.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
 // (bounded by -drain-timeout), queued jobs finish, and pending disk-tier
 // writes are drained to disk before the process exits.
@@ -55,7 +66,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +78,7 @@ import (
 	"neummu/internal/cluster"
 	"neummu/internal/serve"
 	"neummu/internal/store"
+	"neummu/internal/trace"
 )
 
 func main() {
@@ -91,8 +105,21 @@ func main() {
 		retries  = flag.Int("retries", 0, "coordinator: re-route attempts per cell after worker failures (0 = 2)")
 		shardTO  = flag.Duration("shard-timeout", 0, "coordinator: worker stream-inactivity bound before re-routing a shard (0 = 5m)")
 		healthIv = flag.Duration("health-interval", 0, "coordinator: worker /healthz probe period (0 = 2s)")
+
+		// Observability flags (both roles).
+		logJSON   = flag.Bool("log-json", false, "emit JSON log lines instead of logfmt")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof ('' = disabled)")
+		traceRing = flag.Int("trace-ring", 0, "trace span ring-buffer capacity (0 = 512)")
+		slowCell  = flag.Duration("slow-cell-threshold", 0, "cells whose compute stage exceeds this land in the slow-cell log (0 = 100ms, negative disables)")
+		slowCount = flag.Int("slow-cells", 0, "slow-cell log capacity, slowest kept (0 = 32)")
 	)
 	flag.Parse()
+
+	var logH slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		logH = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(logH).With("role", roleName(*role))
 
 	// Refuse flags that don't apply to the selected role: silently
 	// ignoring -peers on a worker (or -workers on a coordinator) leaves
@@ -115,6 +142,13 @@ func main() {
 		misuse(coordOnly, fmt.Sprintf("requires -role coordinator (role is %q)", *role))
 	}
 
+	traceCfg := trace.Config{
+		RingSize:      *traceRing,
+		SlowThreshold: *slowCell,
+		SlowCount:     *slowCount,
+		Logger:        logger,
+	}
+
 	var handler http.Handler
 	var closeFn func()
 	switch *role {
@@ -124,7 +158,7 @@ func main() {
 			var err error
 			st, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeBytes})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "neuserve: opening -store-dir:", err)
+				logger.Error("opening -store-dir", "dir", *storeDir, "err", err)
 				os.Exit(1)
 			}
 		}
@@ -136,6 +170,8 @@ func main() {
 			FigureCacheBytes:   int64(*figMB) << 20,
 			MaxCellsPerRequest: *cells,
 			Store:              st,
+			Trace:              traceCfg,
+			Logger:             logger,
 		})
 		handler, closeFn = s, func() {
 			// Drain-to-disk: the server flushes queued scheduler jobs and
@@ -147,7 +183,7 @@ func main() {
 		}
 	case "coordinator":
 		if *peers == "" {
-			fmt.Fprintln(os.Stderr, "neuserve: -role coordinator requires -peers")
+			logger.Error("-role coordinator requires -peers")
 			os.Exit(2)
 		}
 		c, err := cluster.New(cluster.Config{
@@ -158,24 +194,43 @@ func main() {
 			HealthInterval:     *healthIv,
 			MaxCellsPerRequest: *cells,
 			JournalDir:         *storeDir,
+			Trace:              traceCfg,
+			Logger:             logger,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "neuserve:", err)
+			logger.Error("coordinator start", "err", err)
 			os.Exit(2)
 		}
 		handler, closeFn = c, c.Close
 	default:
-		fmt.Fprintf(os.Stderr, "neuserve: unknown -role %q (have worker, coordinator)\n", *role)
+		logger.Error("unknown -role (have worker, coordinator)", "flag", *role)
 		os.Exit(2)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
+	if *debugAddr != "" {
+		// pprof gets its own listener and mux so profiling endpoints are
+		// opt-in and never reachable on the service port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		if *role == "coordinator" {
-			fmt.Fprintf(os.Stderr, "neuserve: coordinator listening on %s (workers: %s)\n", *addr, *peers)
+			logger.Info("listening", "addr", *addr, "workers", *peers)
 		} else {
-			fmt.Fprintf(os.Stderr, "neuserve: listening on %s\n", *addr)
+			logger.Info("listening", "addr", *addr)
 		}
 		errc <- httpSrv.ListenAndServe()
 	}()
@@ -186,19 +241,26 @@ func main() {
 	case err := <-errc:
 		// ListenAndServe only returns on failure here (Shutdown is the
 		// other path, below).
-		fmt.Fprintln(os.Stderr, "neuserve:", err)
+		logger.Error("serve", "err", err)
 		closeFn()
 		os.Exit(1)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "neuserve: %v: draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "neuserve: shutdown:", err)
+		logger.Error("shutdown", "err", err)
 	}
 	// HTTP is quiesced; now stop admission (worker) or the health
 	// checker (coordinator) and let queued work drain.
 	closeFn()
+}
+
+func roleName(role string) string {
+	if role == "" {
+		return "worker"
+	}
+	return role
 }

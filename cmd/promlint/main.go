@@ -1,0 +1,96 @@
+// Command promlint validates a Prometheus text exposition against the
+// strict rules in internal/trace: HELP and TYPE precede samples, no
+// duplicate families or samples, histograms are internally consistent
+// (cumulative buckets ending in +Inf, _count matching the +Inf bucket),
+// and counters are finite and non-negative.
+//
+// Usage:
+//
+//	promlint <source>                 # lint one exposition
+//	promlint <prev> <cur>             # also require counter monotonicity
+//
+// A source is an http(s):// URL (scraped with a short timeout), a file
+// path, or "-" for stdin. With two sources, every counter family present
+// in both must be non-decreasing from prev to cur — the check CI runs
+// against a live server between two sweeps:
+//
+//	curl -s "$URL/metrics?format=prometheus" > a.txt
+//	curl -d @sweep.json "$URL/v1/sweep" > /dev/null
+//	curl -s "$URL/metrics?format=prometheus" > b.txt
+//	promlint a.txt b.txt
+//
+// Exit status: 0 when every check passes, 1 on a lint or monotonicity
+// failure, 2 on usage or read errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"neummu/internal/trace"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <source> [<cur-source>]")
+		fmt.Fprintln(os.Stderr, "  source: http(s) URL, file path, or - for stdin")
+		os.Exit(2)
+	}
+
+	first, err := load(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	prev, err := trace.ParseProm(first)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", args[0], err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: %d families ok\n", args[0], len(prev.Families))
+
+	if len(args) == 2 {
+		second, err := load(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		cur, err := trace.ParseProm(second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", args[1], err)
+			os.Exit(1)
+		}
+		fmt.Printf("promlint: %s: %d families ok\n", args[1], len(cur.Families))
+		if err := trace.CheckMonotonic(prev, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "promlint: counters not monotone:", err)
+			os.Exit(1)
+		}
+		fmt.Println("promlint: counters monotone")
+	}
+}
+
+// load reads one exposition from a URL, a file, or stdin.
+func load(src string) ([]byte, error) {
+	switch {
+	case src == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	default:
+		return os.ReadFile(src)
+	}
+}

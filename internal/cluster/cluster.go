@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ import (
 	"neummu/internal/exp"
 	"neummu/internal/serve"
 	"neummu/internal/stats"
+	"neummu/internal/trace"
 )
 
 // ErrNoWorkers is returned (as a 503) when no healthy worker remains to
@@ -92,6 +94,14 @@ type Config struct {
 	// and health probes (tests inject httptest clients; nil = a client
 	// suited to long streaming responses).
 	Client *http.Client
+	// Trace tunes the coordinator's request tracer (see trace.Config). The
+	// zero value selects the defaults. The coordinator propagates each
+	// request's trace ID to workers on every dispatch, so one fleet-wide
+	// sweep is one trace across every process that touched it.
+	Trace trace.Config
+	// Logger receives structured request logs, re-route warnings, and
+	// slow-cell records (nil = discard).
+	Logger *slog.Logger
 }
 
 func (c Config) normalized() Config {
@@ -140,6 +150,8 @@ type Coordinator struct {
 	journalCells atomic.Int64 // cells answered from a sweep journal
 	resumes      atomic.Int64 // sweeps that found journaled progress
 	sweepLatency *stats.Latency
+	tracer       *trace.Tracer
+	logger       *slog.Logger
 
 	// harnesses memoizes one expansion harness per effort through the
 	// serving layer's shared cache (Workers: 1 — the coordinator expands
@@ -169,23 +181,41 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("cluster: no workers configured")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	traceCfg := cfg.Trace
+	if traceCfg.Logger == nil {
+		traceCfg.Logger = logger
+	}
 	c := &Coordinator{
 		cfg:          cfg,
 		ring:         newRing(cfg.Workers, cfg.Replicas),
 		pool:         newPool(cfg.Workers, cfg.Client, cfg.HealthInterval),
 		start:        time.Now(),
 		sweepLatency: stats.NewLatency(0),
+		tracer:       trace.NewTracer(traceCfg),
+		logger:       logger,
 		harnesses:    serve.NewHarnessCache(1),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", c.tracer.HandleList)
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c.tracer.HandleByID(w, r, r.PathValue("id"))
+	})
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
 	mux.HandleFunc("POST /v1/sim", c.handleSim)
 	mux.HandleFunc("POST /v1/cells", c.handleCells)
 	c.mux = mux
 	return c, nil
 }
+
+// Tracer exposes the coordinator's span tracer (the /debug/traces state)
+// for embedding processes and tests.
+func (c *Coordinator) Tracer() *trace.Tracer { return c.tracer }
 
 // ServeHTTP implements http.Handler.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -211,6 +241,10 @@ type slot struct {
 	// attempts counts dispatches that have carried this cell; bounded by
 	// MaxRetries. Only the owning dispatch chain touches it.
 	attempts int
+	// firstDispatch anchors retry-stage attribution: a re-routed cell's
+	// span books the time from here to its final dispatch's start as
+	// StageRetry. Set once in runCells; read by the owning dispatch chain.
+	firstDispatch time.Time
 }
 
 func (s *slot) fail(err error) {
@@ -223,19 +257,25 @@ func (s *slot) fail(err error) {
 // Cells present in journaled (a previous run's checkpoint, keyed by grid
 // index) resolve immediately and are never dispatched — a sweep whose
 // journal is complete succeeds with zero healthy workers. jr, when
-// non-nil, receives every newly completed cell.
-func (c *Coordinator) runCells(ctx context.Context, h *exp.Harness, points []exp.Point,
+// non-nil, receives every newly completed cell. traceID propagates to
+// every worker dispatch over the X-Trace-Id header.
+func (c *Coordinator) runCells(ctx context.Context, traceID string, h *exp.Harness, points []exp.Point,
 	journaled map[int]serve.CellLine, jr *journal) ([]*slot, error) {
 	slots := make([]*slot, len(points))
 	remaining := make([]int, 0, len(points))
+	now := time.Now()
 	for i := range slots {
-		slots[i] = &slot{done: make(chan struct{}), attempts: 1}
+		slots[i] = &slot{done: make(chan struct{}), attempts: 1, firstDispatch: now}
 		if cl, ok := journaled[i]; ok {
 			sl := slots[i]
 			sl.cycles, sl.translations, sl.perf = cl.Cycles, cl.Translations, cl.Perf
 			sl.counters = cl.Counters
 			sl.hit = true
 			close(sl.done)
+			c.tracer.Record(trace.Span{
+				TraceID: traceID, Kind: "cell", Name: points[i].Label(), Index: i,
+				Start: now, Hit: true,
+			})
 			continue
 		}
 		remaining = append(remaining, i)
@@ -255,7 +295,7 @@ func (c *Coordinator) runCells(ctx context.Context, h *exp.Harness, points []exp
 	}
 	eff := effortOf(h)
 	for url, idxs := range groups {
-		go c.dispatch(ctx, h, points, slots, url, idxs, eff, jr)
+		go c.dispatch(ctx, traceID, h, points, slots, url, idxs, eff, jr)
 	}
 	return slots, nil
 }
@@ -299,9 +339,11 @@ func effortOf(h *exp.Harness) serve.CellsRequest {
 // each slot as its line streams back. On transport failure — connection
 // error, bad status, timeout, or a truncated stream — the cells not yet
 // resolved are re-routed to the remaining healthy workers; cells the
-// worker already answered keep their results.
-func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp.Point,
+// worker already answered keep their results. The trace ID rides the
+// X-Trace-Id header, so the worker's own spans land under the same trace.
+func (c *Coordinator) dispatch(ctx context.Context, traceID string, h *exp.Harness, points []exp.Point,
 	slots []*slot, url string, idxs []int, eff serve.CellsRequest, jr *journal) {
+	dispatchStart := time.Now()
 	w := c.pool.byURL[url]
 	w.shards.Add(1)
 	w.cells.Add(int64(len(idxs)))
@@ -317,6 +359,27 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 			slots[i].fail(err)
 		}
 		return
+	}
+
+	// cellSpan books one resolved cell on the coordinator: the time since
+	// the previous line of this stream (or the dispatch start) is this
+	// cell's share of the remote work — network plus the worker's own
+	// stages — and a re-routed cell additionally books the time its failed
+	// earlier dispatches burned as StageRetry.
+	lastLine := dispatchStart
+	cellSpan := func(i int, sl *slot, cellErr string) {
+		now := time.Now()
+		var st trace.Stages
+		st[trace.StageCompute] = int64(now.Sub(lastLine))
+		lastLine = now
+		if sl.attempts > 1 {
+			st[trace.StageRetry] = int64(dispatchStart.Sub(sl.firstDispatch))
+		}
+		c.tracer.Record(trace.Span{
+			TraceID: traceID, Kind: "cell", Name: points[i].Label(), Index: i,
+			Start: sl.firstDispatch, TotalNS: st.Sum(), Stages: st,
+			Hit: sl.hit, Worker: url, Attempts: sl.attempts, Err: cellErr,
+		})
 	}
 
 	resolved := make([]bool, len(idxs))
@@ -336,7 +399,7 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 				missing = append(missing, i)
 			}
 		}
-		c.reroute(ctx, h, points, slots, w, missing, cause, eff, jr)
+		c.reroute(ctx, traceID, h, points, slots, w, missing, cause, eff, jr)
 	}
 
 	httpReq, err := http.NewRequestWithContext(shardCtx, "POST", url+"/v1/cells", bytes.NewReader(body))
@@ -345,6 +408,7 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 		return
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(trace.Header, traceID)
 	resp, err := c.pool.client.Do(httpReq)
 	if err != nil {
 		failure(err)
@@ -385,12 +449,14 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 		if line.Err != "" {
 			w.cellErrs.Add(1)
 			sl.fail(errors.New(line.Err))
+			cellSpan(idxs[line.I], sl, line.Err)
 			continue
 		}
 		w.completed.Add(1)
 		sl.cycles, sl.translations, sl.perf, sl.hit = line.Cycles, line.Translations, line.Perf, line.Hit
 		sl.counters = line.Counters
 		close(sl.done)
+		cellSpan(idxs[line.I], sl, "")
 		if jr != nil {
 			// Checkpoint after resolving the slot: the append is dispatch-
 			// goroutine work, never on the client-stream path. I is
@@ -407,7 +473,11 @@ func (c *Coordinator) dispatch(ctx context.Context, h *exp.Harness, points []exp
 // missing cells on the remaining healthy fleet, and fail any cell whose
 // retry budget is spent. A cancelled client context fails the cells
 // without blaming the worker — a hung-up client is not a fleet problem.
-func (c *Coordinator) reroute(ctx context.Context, h *exp.Harness, points []exp.Point,
+// Every re-planned cell is booked twice in /metrics: as cells_rerouted on
+// the failed worker it left and as cells_adopted on the worker that took
+// it over, so a fleet dashboard can attribute re-route load to both sides
+// of the move.
+func (c *Coordinator) reroute(ctx context.Context, traceID string, h *exp.Harness, points []exp.Point,
 	slots []*slot, w *workerState, missing []int, cause error, eff serve.CellsRequest, jr *journal) {
 	if len(missing) == 0 {
 		return
@@ -421,12 +491,21 @@ func (c *Coordinator) reroute(ctx context.Context, h *exp.Harness, points []exp.
 	w.markDown()
 	w.rerouted.Add(int64(len(missing)))
 	c.reroutes.Add(int64(len(missing)))
+	c.logger.Warn("worker failed, re-routing",
+		"trace_id", traceID, "worker", w.url,
+		"missing_cells", len(missing), "cause", cause.Error())
 
 	var retry []int
 	for _, i := range missing {
 		if slots[i].attempts > c.cfg.MaxRetries {
-			slots[i].fail(fmt.Errorf("%s: worker %s failed (%v) and retry budget is spent",
-				points[i].Label(), w.url, cause))
+			err := fmt.Errorf("%s: worker %s failed (%v) and retry budget is spent",
+				points[i].Label(), w.url, cause)
+			slots[i].fail(err)
+			c.tracer.Record(trace.Span{
+				TraceID: traceID, Kind: "cell", Name: points[i].Label(), Index: i,
+				Start: slots[i].firstDispatch, Worker: w.url,
+				Attempts: slots[i].attempts, Err: err.Error(),
+			})
 			continue
 		}
 		slots[i].attempts++
@@ -444,7 +523,8 @@ func (c *Coordinator) reroute(ctx context.Context, h *exp.Harness, points []exp.
 		return
 	}
 	for url, idxs := range groups {
-		go c.dispatch(ctx, h, points, slots, url, idxs, eff, jr)
+		c.pool.byURL[url].adopted.Add(int64(len(idxs)))
+		go c.dispatch(ctx, traceID, h, points, slots, url, idxs, eff, jr)
 	}
 }
 
@@ -476,6 +556,7 @@ func (c *Coordinator) reject(w http.ResponseWriter, err error) {
 // the same bytes.
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	startT := time.Now()
+	traceID := trace.FromRequest(r)
 	var req serve.SweepRequest
 	if !serve.DecodeSweepRequest(w, r, &req) {
 		return
@@ -500,21 +581,25 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	slots, err := c.runCells(r.Context(), h, points, journaled, jr)
+	slots, err := c.runCells(r.Context(), traceID, h, points, journaled, jr)
 	if err != nil {
 		c.reject(w, err)
+		c.finishRequest(traceID, r, startT, len(points), 0, err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sum := 0.0
 	var agg counters.Bundle
+	var mergeNS int64
 	for i, sl := range slots {
 		select {
 		case <-sl.done:
 		case <-r.Context().Done():
+			c.finishRequest(traceID, r, startT, len(points), mergeNS, r.Context().Err())
 			return
 		}
 		if sl.err != nil {
@@ -523,34 +608,68 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 				// for overload, 503 for a dead fleet) like the single
 				// process would at admission.
 				c.reject(w, sl.err)
+				c.finishRequest(traceID, r, startT, len(points), mergeNS, sl.err)
 				return
 			}
 			// The stream is already committed; emit a terminal error line
 			// (the same shape the single process emits).
 			enc.Encode(map[string]string{"error": sl.err.Error()})
+			c.finishRequest(traceID, r, startT, len(points), mergeNS, sl.err)
 			return
 		}
 		sum += sl.perf
 		agg = agg.Add(sl.counters)
+		te := time.Now()
 		enc.Encode(serve.PointRow(points[i], sl.cycles, sl.translations, sl.perf, sl.counters))
 		if flusher != nil {
 			flusher.Flush()
 		}
+		mergeNS += int64(time.Since(te))
 	}
+	te := time.Now()
 	enc.Encode(serve.SweepSummary{
 		Summary: true, Cells: len(points),
 		AvgNormalizedPerf: sum / float64(len(points)),
 		Counters:          agg,
 	})
+	mergeNS += int64(time.Since(te))
 	c.sweeps.Add(1)
 	c.cellsServed.Add(int64(len(points)))
 	c.sweepLatency.Record(float64(time.Since(startT)) / float64(time.Millisecond))
+	c.finishRequest(traceID, r, startT, len(points), mergeNS, nil)
+}
+
+// finishRequest records the coordinator's request-level span and emits
+// the structured request log line.
+func (c *Coordinator) finishRequest(traceID string, r *http.Request, start time.Time, cells int, mergeNS int64, reqErr error) {
+	total := int64(time.Since(start))
+	var st trace.Stages
+	st[trace.StageMerge] = mergeNS
+	sp := trace.Span{
+		TraceID: traceID, Kind: "request",
+		Name: r.Method + " " + r.URL.Path, Index: -1,
+		Start: start, TotalNS: total, Stages: st, Cells: cells,
+	}
+	attrs := []any{
+		"trace_id", traceID, "method", r.Method, "path", r.URL.Path,
+		"cells", cells, "ms", float64(total) / float64(time.Millisecond),
+	}
+	if reqErr != nil {
+		sp.Err = reqErr.Error()
+		attrs = append(attrs, "error", reqErr.Error())
+		c.tracer.Record(sp)
+		c.logger.Error("request failed", attrs...)
+		return
+	}
+	c.tracer.Record(sp)
+	c.logger.Info("request", attrs...)
 }
 
 // handleSim routes a single cell to its owning worker and returns one
 // JSON object, byte-identical to the single process's /v1/sim.
 func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	startT := time.Now()
+	traceID := trace.FromRequest(r)
 	var req serve.SweepRequest
 	if !serve.DecodeSweepRequest(w, r, &req) {
 		return
@@ -566,21 +685,25 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 			len(points)), http.StatusBadRequest)
 		return
 	}
-	slots, err := c.runCells(r.Context(), h, points, nil, nil)
+	slots, err := c.runCells(r.Context(), traceID, h, points, nil, nil)
 	if err != nil {
 		c.reject(w, err)
+		c.finishRequest(traceID, r, startT, 1, 0, err)
 		return
 	}
 	sl := slots[0]
 	select {
 	case <-sl.done:
 	case <-r.Context().Done():
+		c.finishRequest(traceID, r, startT, 1, 0, r.Context().Err())
 		return
 	}
 	if sl.err != nil {
 		c.reject(w, sl.err)
+		c.finishRequest(traceID, r, startT, 1, 0, sl.err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	if sl.hit {
 		w.Header().Set("X-Neuserve-Cache", "hit")
 	} else {
@@ -589,9 +712,11 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	te := time.Now()
 	enc.Encode(serve.PointRow(points[0], sl.cycles, sl.translations, sl.perf, sl.counters))
 	c.cellsServed.Add(1)
 	c.sweepLatency.Record(float64(time.Since(startT)) / float64(time.Millisecond))
+	c.finishRequest(traceID, r, startT, 1, int64(time.Since(te)), nil)
 }
 
 // handleCells lets a coordinator speak the worker wire protocol itself:
@@ -599,31 +724,37 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 // backend (and chained coordinators) need only one protocol.
 func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 	startT := time.Now()
+	traceID := trace.FromRequest(r)
 	req, points, err := serve.ParseCellsRequest(r, c.cfg.MaxCellsPerRequest)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	h := c.harnesses.Get(serve.Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
-	slots, err := c.runCells(r.Context(), h, points, nil, nil)
+	slots, err := c.runCells(r.Context(), traceID, h, points, nil, nil)
 	if err != nil {
 		c.reject(w, err)
+		c.finishRequest(traceID, r, startT, len(points), 0, err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var mergeNS int64
 	for i, sl := range slots {
 		select {
 		case <-sl.done:
 		case <-r.Context().Done():
+			c.finishRequest(traceID, r, startT, len(points), mergeNS, r.Context().Err())
 			return
 		}
 		if sl.err != nil && i == 0 && errors.Is(sl.err, ErrWorkerOverloaded) {
 			// Mirror the worker protocol: overload before any line is a
 			// 429 the caller can retry, not a stream of error lines.
 			c.reject(w, sl.err)
+			c.finishRequest(traceID, r, startT, len(points), mergeNS, sl.err)
 			return
 		}
 		line := serve.CellLine{I: i, Hit: sl.hit}
@@ -633,13 +764,16 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 			line.Cycles, line.Translations, line.Perf = sl.cycles, sl.translations, sl.perf
 			line.Counters = sl.counters
 		}
+		te := time.Now()
 		enc.Encode(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
+		mergeNS += int64(time.Since(te))
 	}
 	c.cellsServed.Add(int64(len(points)))
 	c.sweepLatency.Record(float64(time.Since(startT)) / float64(time.Millisecond))
+	c.finishRequest(traceID, r, startT, len(points), mergeNS, nil)
 }
 
 // Metrics is the coordinator's /metrics response: fleet health, routing
@@ -684,7 +818,11 @@ func (c *Coordinator) Metrics() Metrics {
 	}
 }
 
-func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		c.handleMetricsProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -24,9 +24,13 @@ type workerState struct {
 	cellErrs  atomic.Int64 // cells answered with a per-cell error
 	failures  atomic.Int64 // transport failures (connection, status, timeout)
 	rerouted  atomic.Int64 // cells moved off this worker after a failure
+	adopted   atomic.Int64 // re-routed cells this worker took over
 }
 
-// WorkerMetrics is the /metrics row for one worker.
+// WorkerMetrics is the /metrics row for one worker. A re-routed cell is
+// attributed to both sides of the move: CellsRerouted on the worker whose
+// failure orphaned it and CellsAdopted on the worker that answered it
+// instead.
 type WorkerMetrics struct {
 	URL            string `json:"url"`
 	Healthy        bool   `json:"healthy"`
@@ -36,6 +40,7 @@ type WorkerMetrics struct {
 	CellErrors     int64  `json:"cell_errors"`
 	Failures       int64  `json:"failures"`
 	CellsRerouted  int64  `json:"cells_rerouted"`
+	CellsAdopted   int64  `json:"cells_adopted"`
 }
 
 func (w *workerState) metrics() WorkerMetrics {
@@ -48,6 +53,7 @@ func (w *workerState) metrics() WorkerMetrics {
 		CellErrors:     w.cellErrs.Load(),
 		Failures:       w.failures.Load(),
 		CellsRerouted:  w.rerouted.Load(),
+		CellsAdopted:   w.adopted.Load(),
 	}
 }
 

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"neummu/internal/trace"
+)
+
+// postWithTrace posts a body with an explicit X-Trace-Id header.
+func postWithTrace(t *testing.T, url, path, body, traceID string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(trace.Header, traceID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func coordTrace(t *testing.T, url, id string) trace.Trace {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr trace.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decoding /debug/traces/%s: %v", id, err)
+	}
+	return tr
+}
+
+// TestCoordinatorTracePropagation pins the wire contract: a traced sweep
+// through the coordinator leaves per-cell spans at the coordinator (each
+// naming the worker that answered it) AND spans on every worker's own
+// tracer under the same trace ID — the header rode the /v1/cells dispatch.
+func TestCoordinatorTracePropagation(t *testing.T) {
+	w1, w2 := newWorker(t, nil), newWorker(t, nil)
+	c, ts := newCoordinator(t, Config{Workers: []string{w1.ts.URL, w2.ts.URL}})
+
+	const id = "cluster-trace-0001"
+	resp, body := postWithTrace(t, ts.URL, "/v1/sweep", testSweep, id)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(trace.Header); got != id {
+		t.Errorf("response %s = %q, want %q", trace.Header, got, id)
+	}
+
+	tr := coordTrace(t, ts.URL, id)
+	workerURLs := map[string]bool{w1.ts.URL: true, w2.ts.URL: true}
+	var cells, requests int
+	for _, sp := range tr.Spans {
+		switch sp.Kind {
+		case "cell":
+			cells++
+			if !workerURLs[sp.Worker] {
+				t.Errorf("cell %s attributed to unknown worker %q", sp.Name, sp.Worker)
+			}
+			if sp.Attempts != 1 {
+				t.Errorf("cell %s attempts = %d, want 1", sp.Name, sp.Attempts)
+			}
+			if sp.Err != "" {
+				t.Errorf("cell %s unexpected error %q", sp.Name, sp.Err)
+			}
+		case "request":
+			requests++
+			if sp.Cells != 8 {
+				t.Errorf("request span cells = %d, want 8", sp.Cells)
+			}
+		}
+	}
+	if cells != 8 || requests != 1 {
+		t.Fatalf("coordinator spans: %d cells, %d requests; want 8 and 1", cells, requests)
+	}
+
+	// The trace ID crossed the wire: each worker recorded its shard's
+	// cells (and one /v1/cells request span) under the same ID, and the
+	// per-worker shard sizes seen by the coordinator match.
+	perWorker := map[string]int{}
+	for _, sp := range tr.Spans {
+		if sp.Kind == "cell" {
+			perWorker[sp.Worker]++
+		}
+	}
+	totalWorkerCells := 0
+	for url, w := range map[string]*testWorker{w1.ts.URL: w1, w2.ts.URL: w2} {
+		wtr := w.srv.Tracer().ByTrace(id)
+		if perWorker[url] == 0 {
+			if len(wtr.Spans) != 0 {
+				t.Errorf("worker %s has spans but coordinator assigned it no cells", url)
+			}
+			continue
+		}
+		if len(wtr.Spans) == 0 {
+			t.Fatalf("worker %s has no trace %s despite %d assigned cells", url, id, perWorker[url])
+		}
+		var wCells int
+		for _, sp := range wtr.Spans {
+			if sp.Kind == "cell" {
+				wCells++
+			}
+		}
+		if wCells != perWorker[url] {
+			t.Errorf("worker %s recorded %d cell spans, coordinator dispatched %d",
+				url, wCells, perWorker[url])
+		}
+		totalWorkerCells += wCells
+	}
+	if totalWorkerCells != 8 {
+		t.Errorf("worker cell spans total %d, want 8", totalWorkerCells)
+	}
+	_ = c
+}
+
+// TestCoordinatorMetricsPrometheus pins the coordinator's exposition: it
+// parses under the strict linter, carries the neucoord_ headline families
+// and per-worker counters (including both sides of re-route attribution),
+// and two scrapes separated by work are monotone.
+func TestCoordinatorMetricsPrometheus(t *testing.T) {
+	w1, w2 := newWorker(t, nil), newWorker(t, nil)
+	_, ts := newCoordinator(t, Config{Workers: []string{w1.ts.URL, w2.ts.URL}})
+
+	post(t, ts.URL, "/v1/sweep", testSweep)
+	getProm := func() *trace.Exposition {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		fams, err := trace.ParseProm(buf.Bytes())
+		if err != nil {
+			t.Fatalf("exposition invalid: %v\n%s", err, buf.Bytes())
+		}
+		return fams
+	}
+
+	prev := getProm()
+	for _, want := range []string{
+		"neucoord_requests_total", "neucoord_sweeps_total",
+		"neucoord_cells_served_total", "neucoord_cells_rerouted_total",
+		"neucoord_workers_healthy", "neucoord_worker_cells_completed_total",
+		"neucoord_worker_cells_rerouted_total", "neucoord_worker_cells_adopted_total",
+		"neucoord_sweep_latency_seconds", "neuserve_stage_duration_seconds",
+	} {
+		if _, ok := prev.Family(want); !ok {
+			t.Errorf("family %s missing from coordinator exposition", want)
+		}
+	}
+	if f, _ := prev.Family("neucoord_worker_cells_completed_total"); f != nil {
+		var total float64
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		if total != 8 {
+			t.Errorf("per-worker completed cells sum = %v, want 8", total)
+		}
+	}
+
+	post(t, ts.URL, "/v1/sweep", testSweep)
+	if err := trace.CheckMonotonic(prev, getProm()); err != nil {
+		t.Errorf("scrapes not monotone: %v", err)
+	}
+}

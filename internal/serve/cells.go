@@ -12,6 +12,7 @@ import (
 	"neummu/internal/core"
 	"neummu/internal/counters"
 	"neummu/internal/exp"
+	"neummu/internal/trace"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
 	"neummu/internal/workloads"
@@ -276,37 +277,47 @@ func ParseCellsRequest(r *http.Request, maxCells int) (CellsRequest, []exp.Point
 // the same LRU entries an interactive client would.
 func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	traceID := trace.FromRequest(r)
 	req, points, err := ParseCellsRequest(r, s.cfg.MaxCellsPerRequest)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	h := s.harness(Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
-	flights, hits, err := s.resolveCells(r.Context(), h, points)
+	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
 		s.reject(w, err)
+		s.finishRequest(traceID, r, start, len(points), 0, 0, err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	w.Header().Set("X-Neuserve-Cache",
 		fmt.Sprintf("hits=%d misses=%d", hits, len(points)-hits))
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var mergeNS int64
 	for i, fl := range flights {
 		line := CellLine{I: i, Hit: fl.Hit}
+		tw := time.Now()
 		v, err := fl.Wait()
+		waitNS := int64(time.Since(tw))
+		s.recordCellSpan(traceID, i, points[i], fl, timings[i], waitNS, v, err)
 		if err != nil {
 			line.Err = err.Error()
 		} else {
 			line.Cycles, line.Translations, line.Perf = v.Cycles, v.Translations, v.Perf
 			line.Counters = v.Counters
 		}
+		te := time.Now()
 		enc.Encode(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
+		mergeNS += int64(time.Since(te))
 	}
 	s.metrics.cellsServed.Add(int64(len(points)))
 	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+	s.finishRequest(traceID, r, start, len(points), hits, mergeNS, nil)
 }

@@ -59,19 +59,29 @@ func newMetrics() *metrics {
 
 // LatencyJSON is the wire form of a stats.LatencySummary, shared by the
 // server's and the cluster coordinator's /metrics bodies so the two tiers
-// report latency in one shape.
+// report latency in one shape. The float fields are pointers so an empty
+// window omits them entirely — the recorder reports NaN for "no samples"
+// (which JSON cannot carry), and a dashboard must see absence, not a
+// fake 0ms p99.
 type LatencyJSON struct {
-	Count int64   `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
-	Max   float64 `json:"max"`
+	Count int64    `json:"count"`
+	Mean  *float64 `json:"mean,omitempty"`
+	P50   *float64 `json:"p50,omitempty"`
+	P95   *float64 `json:"p95,omitempty"`
+	P99   *float64 `json:"p99,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
 }
 
-// ToLatencyJSON converts a summary to its wire form.
+// ToLatencyJSON converts a summary to its wire form, dropping the NaN
+// fields of an empty window.
 func ToLatencyJSON(s stats.LatencySummary) LatencyJSON {
-	return LatencyJSON{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+	out := LatencyJSON{Count: s.Count}
+	if !s.Valid() {
+		return out
+	}
+	mean, p50, p95, p99, max := s.Mean, s.P50, s.P95, s.P99, s.Max
+	out.Mean, out.P50, out.P95, out.P99, out.Max = &mean, &p50, &p95, &p99, &max
+	return out
 }
 
 // Metrics is the /metrics response: queue and cache state, throughput,

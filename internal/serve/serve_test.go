@@ -551,8 +551,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.CellsServed != 4 || m.CellsSimulated != 4 || m.Workers != 2 {
 		t.Errorf("metrics = %+v", m)
 	}
-	if m.SweepLatencyMS.Count != 1 || m.SweepLatencyMS.P50 <= 0 {
+	if m.SweepLatencyMS.Count != 1 || m.SweepLatencyMS.P50 == nil || *m.SweepLatencyMS.P50 <= 0 {
 		t.Errorf("sweep latency = %+v", m.SweepLatencyMS)
+	}
+	// No figure-free windows here, but the empty-window contract holds for
+	// a recorder that never fired: a fresh server omits the percentile
+	// fields instead of reporting 0ms.
+	_, ts2 := newTestServer(t, Config{Workers: 1})
+	_, body2 := get(t, ts2, "/metrics")
+	var m2 Metrics
+	if err := json.Unmarshal(body2, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.SweepLatencyMS.Count != 0 || m2.SweepLatencyMS.P50 != nil || m2.SweepLatencyMS.Mean != nil {
+		t.Errorf("empty-window latency = %+v, want omitted percentile fields", m2.SweepLatencyMS)
 	}
 	if m.CellCache.Misses != 4 {
 		t.Errorf("cell cache = %+v", m.CellCache)
@@ -644,7 +656,7 @@ func TestSweepCancelledClientNeverSimulates(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	flights, _, err := s.resolveCells(ctx, h, points)
+	flights, _, _, err := s.resolveCells(ctx, h, points)
 	if err != nil {
 		t.Fatal(err)
 	}

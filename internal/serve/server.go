@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -45,6 +46,7 @@ import (
 	"neummu/internal/exp"
 	"neummu/internal/figures"
 	"neummu/internal/store"
+	"neummu/internal/trace"
 	"neummu/internal/vm"
 )
 
@@ -71,6 +73,14 @@ type Config struct {
 	// the store's lifecycle (open it before New, close it after Close);
 	// Server.Close drains pending writes to disk.
 	Store *store.Store
+	// Trace tunes the request tracer (span ring size, slow-cell threshold
+	// and log depth; see trace.Config). The zero value selects the
+	// defaults; tracing is always on — it is resolve-time bookkeeping,
+	// never hot-path work, and never changes response bytes.
+	Trace trace.Config
+	// Logger receives structured request logs and slow-cell warnings
+	// (nil = discard, which keeps tests and benchmarks quiet).
+	Logger *slog.Logger
 }
 
 func (c Config) normalized() Config {
@@ -171,6 +181,8 @@ type Server struct {
 	store   *store.Store // nil = RAM-only
 	seed    maphash.Seed
 	metrics *metrics
+	tracer  *trace.Tracer
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	harnesses *HarnessCache
@@ -179,6 +191,14 @@ type Server struct {
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg = cfg.normalized()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	traceCfg := cfg.Trace
+	if traceCfg.Logger == nil {
+		traceCfg.Logger = logger
+	}
 	s := &Server{
 		cfg:   cfg,
 		sched: NewScheduler(cfg.Shards, cfg.Workers, cfg.QueueDepth),
@@ -189,11 +209,17 @@ func New(cfg Config) *Server {
 		store:     cfg.Store,
 		seed:      maphash.MakeSeed(),
 		metrics:   newMetrics(),
+		tracer:    trace.NewTracer(traceCfg),
+		logger:    logger,
 		harnesses: NewHarnessCache(cfg.Workers),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.tracer.HandleList)
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.tracer.HandleByID(w, r, r.PathValue("id"))
+	})
 	mux.HandleFunc("GET /v1/figures", s.handleFigureList)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -225,6 +251,11 @@ func (s *Server) Close() {
 // Metrics snapshots the service's operational state (the /metrics body).
 func (s *Server) Metrics() Metrics { return s.snapshot() }
 
+// Tracer exposes the server's span tracer (the /debug/traces state), so
+// an embedding process — the cluster worker binary, tests — can inspect
+// retained spans without scraping its own HTTP surface.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // harness returns the memoized harness for an effort level. The harness's
 // own pool (used by figure studies) shares the server's worker budget.
 func (s *Server) harness(e Effort) *exp.Harness { return s.harnesses.Get(e) }
@@ -234,7 +265,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handleMetricsProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -430,29 +465,64 @@ func (s *Server) expand(req SweepRequest) (*exp.Harness, []exp.Point, error) {
 	return h, points, nil
 }
 
+// cellTiming captures one cell's per-stage durations as it moves through
+// the cache, the scheduler queue, the disk tier, and the simulator — the
+// raw material of a trace.Span. The miss-owner fields (queueNS, diskNS,
+// computeNS, diskHit) are written inside the compute closure, which
+// happens-before the flight's done channel closes, so the span builder
+// reading them after Flight.Wait needs no atomics.
+type cellTiming struct {
+	start     time.Time
+	cacheNS   int64 // the Resolve call itself: lookup + scheduler admission
+	queueNS   int64 // submit → dequeue (the scheduler queue wait)
+	diskNS    int64 // durable-tier read on a RAM miss (0 with no store)
+	computeNS int64 // the simulation itself
+	diskHit   bool  // the durable tier answered; nothing was simulated
+	scheduled bool  // this request owned the compute (cache miss)
+}
+
 // resolveCells schedules every point through the cell cache, deduplicating
 // against cached, in-flight, and same-request work, and returns the
-// flights in grid order. hits counts cells answered straight from cache.
-// ctx is the requesting client's context: a cell still queued when every
-// client interested in it disconnects is dropped at dequeue, never
-// simulated (see Cache.Resolve).
-func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.Point) (flights []*Flight[cellValue], hits int, err error) {
+// flights in grid order with one timing record per flight. hits counts
+// cells answered straight from cache. ctx is the requesting client's
+// context: a cell still queued when every client interested in it
+// disconnects is dropped at dequeue, never simulated (see Cache.Resolve).
+func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.Point) (flights []*Flight[cellValue], timings []*cellTiming, hits int, err error) {
 	opts := h.Options()
 	flights = make([]*Flight[cellValue], len(points))
+	timings = make([]*cellTiming, len(points))
 	for i, p := range points {
+		p := p
 		key := cellKey{point: p, repeatCap: opts.RepeatCap, tileCap: opts.TileCap}
 		hash := maphash.Comparable(s.seed, key)
+		ct := &cellTiming{start: time.Now()}
+		timings[i] = ct
 		fl, err := s.cells.Resolve(ctx, key,
-			func(run func()) error { return s.sched.Submit(hash, run) },
+			func(run func()) error {
+				ct.scheduled = true
+				submitted := time.Now()
+				return s.sched.Submit(hash, func() {
+					ct.queueNS = int64(time.Since(submitted))
+					run()
+				})
+			},
 			func() (cellValue, error) {
 				// RAM miss: the durable tier answers before a simulation is
 				// spent. Disk hits bypass the simulated counter and the
 				// counter aggregate — both book only work this process did.
-				if v, ok := s.diskGet(key); ok {
-					return v, nil
+				if s.store != nil {
+					t0 := time.Now()
+					v, ok := s.diskGet(key)
+					ct.diskNS = int64(time.Since(t0))
+					if ok {
+						ct.diskHit = true
+						return v, nil
+					}
 				}
 				s.metrics.simulated.Add(1)
+				t0 := time.Now()
 				perf, res, err := h.NormPerf(p.Model, p.Batch, p.MMU())
+				ct.computeNS = int64(time.Since(t0))
 				if err != nil {
 					return cellValue{}, fmt.Errorf("%s: %w", p.Label(), err)
 				}
@@ -466,15 +536,78 @@ func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.
 				s.diskPut(key, v)
 				return v, nil
 			})
+		ct.cacheNS = int64(time.Since(ct.start))
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		if fl.Hit {
 			hits++
 		}
 		flights[i] = fl
 	}
-	return flights, hits, nil
+	return flights, timings, hits, nil
+}
+
+// recordCellSpan builds and records the trace span for one resolved cell.
+// waitNS is the observed Flight.Wait duration — for a request that joined
+// another request's in-flight computation it is the only wait this request
+// saw, attributed to the queue stage. The span's total is the sum of its
+// stages, so per-stage durations always account for the whole span.
+func (s *Server) recordCellSpan(traceID string, i int, p exp.Point, fl *Flight[cellValue], ct *cellTiming, waitNS int64, v cellValue, err error) {
+	var st trace.Stages
+	st[trace.StageCache] = ct.cacheNS
+	switch {
+	case fl.Hit:
+		// RAM hit: the lookup was the whole cell.
+	case ct.scheduled:
+		st[trace.StageQueue] = ct.queueNS
+		st[trace.StageDisk] = ct.diskNS
+		st[trace.StageCompute] = ct.computeNS
+	default:
+		// Joined another request's in-flight computation: its owner's span
+		// carries the disk/compute split; this request only waited.
+		st[trace.StageQueue] = waitNS
+	}
+	sp := trace.Span{
+		TraceID: traceID, Kind: "cell", Name: p.Label(), Index: i,
+		Start: ct.start, TotalNS: st.Sum(), Stages: st,
+		Hit: fl.Hit, DiskHit: ct.diskHit,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	} else if ct.scheduled && !ct.diskHit {
+		c := v.Counters
+		sp.Counters = &c
+	}
+	s.tracer.Record(sp)
+}
+
+// finishRequest records the request-level span (merge = response encoding
+// time; cells/hits summarize the grid) and emits the structured request
+// log line that replaces the serving tiers' ad-hoc stderr prints.
+func (s *Server) finishRequest(traceID string, r *http.Request, start time.Time, cells, hits int, mergeNS int64, reqErr error) {
+	total := int64(time.Since(start))
+	var st trace.Stages
+	st[trace.StageMerge] = mergeNS
+	sp := trace.Span{
+		TraceID: traceID, Kind: "request",
+		Name: r.Method + " " + r.URL.Path, Index: -1,
+		Start: start, TotalNS: total, Stages: st, Cells: cells,
+	}
+	attrs := []any{
+		"trace_id", traceID, "method", r.Method, "path", r.URL.Path,
+		"cells", cells, "hits", hits,
+		"ms", float64(total) / float64(time.Millisecond),
+	}
+	if reqErr != nil {
+		sp.Err = reqErr.Error()
+		attrs = append(attrs, "error", reqErr.Error())
+		s.tracer.Record(sp)
+		s.logger.Error("request failed", attrs...)
+		return
+	}
+	s.tracer.Record(sp)
+	s.logger.Info("request", attrs...)
 }
 
 // reject maps scheduler admission errors to 429 and anything else to 500.
@@ -519,6 +652,7 @@ func rowFor(p exp.Point, v cellValue) CellRow {
 // are identical whether every cell was a cache hit, a miss, or a mix.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	traceID := trace.FromRequest(r)
 	var req SweepRequest
 	if !DecodeSweepRequest(w, r, &req) {
 		return
@@ -528,11 +662,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	flights, hits, err := s.resolveCells(r.Context(), h, points)
+	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
 		s.reject(w, err)
+		s.finishRequest(traceID, r, start, len(points), 0, 0, err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	w.Header().Set("X-Neuserve-Cache",
@@ -541,33 +677,44 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	sum := 0.0
 	var agg counters.Bundle
+	var mergeNS int64
 	for i, fl := range flights {
+		tw := time.Now()
 		v, err := fl.Wait()
+		waitNS := int64(time.Since(tw))
+		s.recordCellSpan(traceID, i, points[i], fl, timings[i], waitNS, v, err)
 		if err != nil {
 			// The stream is already committed; emit a terminal error line.
 			enc.Encode(map[string]string{"error": err.Error()})
+			s.finishRequest(traceID, r, start, len(points), hits, mergeNS, err)
 			return
 		}
 		sum += v.Perf
 		agg = agg.Add(v.Counters)
+		te := time.Now()
 		enc.Encode(rowFor(points[i], v))
 		if flusher != nil {
 			flusher.Flush()
 		}
+		mergeNS += int64(time.Since(te))
 	}
+	te := time.Now()
 	enc.Encode(SweepSummary{
 		Summary: true, Cells: len(points),
 		AvgNormalizedPerf: sum / float64(len(points)),
 		Counters:          agg,
 	})
+	mergeNS += int64(time.Since(te))
 	s.metrics.cellsServed.Add(int64(len(points)))
 	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+	s.finishRequest(traceID, r, start, len(points), hits, mergeNS, nil)
 }
 
 // handleSim runs a single cell and returns one JSON object. It is the
 // one-point restriction of handleSweep, sharing its cache and scheduler.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	traceID := trace.FromRequest(r)
 	var req SweepRequest
 	if !DecodeSweepRequest(w, r, &req) {
 		return
@@ -582,21 +729,29 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			len(points)), http.StatusBadRequest)
 		return
 	}
-	flights, hits, err := s.resolveCells(r.Context(), h, points)
+	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
 		s.reject(w, err)
+		s.finishRequest(traceID, r, start, 1, 0, 0, err)
 		return
 	}
+	w.Header().Set(trace.Header, traceID)
 	setCacheHeader(w, hits == 1)
+	tw := time.Now()
 	v, err := flights[0].Wait()
+	waitNS := int64(time.Since(tw))
+	s.recordCellSpan(traceID, 0, points[0], flights[0], timings[0], waitNS, v, err)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.finishRequest(traceID, r, start, 1, hits, 0, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	te := time.Now()
 	enc.Encode(rowFor(points[0], v))
 	s.metrics.cellsServed.Add(1)
 	s.metrics.sweepLatency.Record(float64(time.Since(start)) / float64(time.Millisecond))
+	s.finishRequest(traceID, r, start, 1, hits, int64(time.Since(te)), nil)
 }

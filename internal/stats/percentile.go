@@ -58,18 +58,29 @@ func percentileSorted(sorted []float64, q float64) float64 {
 }
 
 // LatencySummary is a point-in-time view of a Latency recorder.
+//
+// A summary with no observations is explicit about it: Mean, Max, and the
+// percentiles are NaN, not zero — "zero latency" is a real (excellent)
+// measurement, and an empty window must not masquerade as one on a
+// dashboard. Use Valid (or Count > 0) before graphing; the serving
+// layer's JSON view omits the NaN fields entirely.
 type LatencySummary struct {
 	// Count is the number of observations ever recorded (not just the
 	// retained window).
 	Count int64
 	// Mean and Max are over all observations; the percentiles are over the
-	// retained window (the most recent observations).
+	// retained window (the most recent observations). All are NaN when no
+	// samples exist.
 	Mean float64
 	Max  float64
 	P50  float64
 	P95  float64
 	P99  float64
 }
+
+// Valid reports whether the summary has any observations (its float
+// fields are numbers, not NaN placeholders).
+func (s LatencySummary) Valid() bool { return s.Count > 0 }
 
 // Latency is a concurrency-safe latency recorder: exact count/mean/max
 // over everything ever recorded, plus p50/p95/p99 over a bounded window of
@@ -111,7 +122,8 @@ func (l *Latency) Record(v float64) {
 	l.mu.Unlock()
 }
 
-// Summary snapshots the recorder.
+// Summary snapshots the recorder. With no observations every float field
+// is NaN (see LatencySummary).
 func (l *Latency) Summary() LatencySummary {
 	l.mu.Lock()
 	s := LatencySummary{Count: l.count, Max: l.max}
@@ -125,6 +137,11 @@ func (l *Latency) Summary() LatencySummary {
 	retained := make([]float64, n)
 	copy(retained, l.window[:n])
 	l.mu.Unlock()
+	if s.Count == 0 {
+		nan := math.NaN()
+		s.Mean, s.Max, s.P50, s.P95, s.P99 = nan, nan, nan, nan, nan
+		return s
+	}
 	ps := Percentiles(retained, 0.50, 0.95, 0.99)
 	s.P50, s.P95, s.P99 = ps[0], ps[1], ps[2]
 	return s

@@ -107,25 +107,57 @@ func TestPercentilesSingleSort(t *testing.T) {
 	}
 }
 
+// TestLatencySummaryEdgeWindows pins the empty and single-sample windows:
+// an empty recorder must answer NaN (not a misleading zero latency) on
+// every float field, and one sample must drive every percentile to that
+// sample.
+func TestLatencySummaryEdgeWindows(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		count   int64
+		valid   bool
+		want    float64 // expected value of every float field when valid
+	}{
+		{name: "empty window", samples: nil, count: 0, valid: false},
+		{name: "single sample", samples: []float64{10}, count: 1, valid: true, want: 10},
+		{name: "single zero sample is a real measurement", samples: []float64{0}, count: 1, valid: true, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLatency(0) // default window
+			for _, v := range tc.samples {
+				l.Record(v)
+			}
+			s := l.Summary()
+			if s.Count != tc.count || s.Valid() != tc.valid {
+				t.Fatalf("summary = %+v, want count=%d valid=%v", s, tc.count, tc.valid)
+			}
+			fields := map[string]float64{
+				"mean": s.Mean, "max": s.Max, "p50": s.P50, "p95": s.P95, "p99": s.P99,
+			}
+			for name, v := range fields {
+				if !tc.valid {
+					if !math.IsNaN(v) {
+						t.Errorf("%s = %v, want NaN for empty window", name, v)
+					}
+					continue
+				}
+				if v != tc.want {
+					t.Errorf("%s = %v, want %v", name, v, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestLatencySummary(t *testing.T) {
-	l := NewLatency(0) // default window
-	s := l.Summary()
-	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
-		t.Errorf("empty summary = %+v, want zeros", s)
-	}
-
-	l.Record(10)
-	s = l.Summary()
-	if s.Count != 1 || s.Mean != 10 || s.P50 != 10 || s.P95 != 10 || s.P99 != 10 || s.Max != 10 {
-		t.Errorf("single-sample summary = %+v", s)
-	}
-
 	// 1..1000: known percentiles under nearest-rank.
-	l = NewLatency(2048)
+	l := NewLatency(2048)
 	for i := 1; i <= 1000; i++ {
 		l.Record(float64(i))
 	}
-	s = l.Summary()
+	s := l.Summary()
 	if s.Count != 1000 || s.P50 != 500 || s.P95 != 950 || s.P99 != 990 || s.Max != 1000 {
 		t.Errorf("uniform summary = %+v", s)
 	}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 32 {
+			t.Fatalf("id %q has length %d, want 32", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFromRequest(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/sweep", nil)
+	minted := FromRequest(r)
+	if len(minted) != 32 {
+		t.Fatalf("minted id %q", minted)
+	}
+	r.Header.Set(Header, "client-chosen-id")
+	if got := FromRequest(r); got != "client-chosen-id" {
+		t.Fatalf("inbound header not honored: %q", got)
+	}
+	long := make([]byte, 4096)
+	for i := range long {
+		long[i] = 'x'
+	}
+	r.Header.Set(Header, string(long))
+	if got := FromRequest(r); len(got) != maxInboundID {
+		t.Fatalf("hostile header not truncated: %d bytes", len(got))
+	}
+}
+
+func TestStagesSumToTotalAndJSONRoundTrip(t *testing.T) {
+	var st Stages
+	st[StageQueue] = 10
+	st[StageCache] = 20
+	st[StageDisk] = 30
+	st[StageCompute] = 40
+	st[StageRetry] = 5
+	st[StageMerge] = 1
+	if st.Sum() != 106 {
+		t.Fatalf("sum = %d", st.Sum())
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"queue_ns":10,"cache_ns":20,"disk_ns":30,"compute_ns":40,"retry_ns":5,"merge_ns":1}`
+	if string(b) != want {
+		t.Fatalf("json = %s, want %s", b, want)
+	}
+	var back Stages
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("round trip: %v != %v", back, st)
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Index: i})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for k, s := range got {
+		if s.Index != 6+k { // oldest first: 6,7,8,9
+			t.Fatalf("snapshot[%d].Index = %d, want %d", k, s.Index, 6+k)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingByTrace(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Span{TraceID: "a", Index: 0})
+	r.Record(Span{TraceID: "b", Index: 1})
+	r.Record(Span{TraceID: "a", Index: 2})
+	got := r.ByTrace("a")
+	if len(got) != 2 || got[0].Index != 0 || got[1].Index != 2 {
+		t.Fatalf("ByTrace(a) = %+v", got)
+	}
+	if len(r.ByTrace("missing")) != 0 {
+		t.Fatal("unknown trace returned spans")
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Span{TraceID: "t"})
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestSlowLogTopNByCompute(t *testing.T) {
+	tr := NewTracer(Config{SlowThreshold: time.Millisecond, SlowCount: 3})
+	computeMS := []int64{5, 1, 9, 7, 3, 8}
+	for i, ms := range computeMS {
+		var st Stages
+		st[StageCompute] = ms * int64(time.Millisecond)
+		tr.Record(Span{Kind: "cell", Index: i, TotalNS: st.Sum(), Stages: st})
+	}
+	slow := tr.List().SlowCells
+	if len(slow) != 3 {
+		t.Fatalf("slow log holds %d, want 3", len(slow))
+	}
+	wantOrder := []int{2, 5, 3} // 9ms, 8ms, 7ms
+	for k, s := range slow {
+		if s.Index != wantOrder[k] {
+			t.Fatalf("slow[%d].Index = %d, want %d", k, s.Index, wantOrder[k])
+		}
+	}
+	// Below-threshold cells never enter the log.
+	tr2 := NewTracer(Config{SlowThreshold: time.Second})
+	var st Stages
+	st[StageCompute] = int64(10 * time.Millisecond)
+	tr2.Record(Span{Kind: "cell", Stages: st})
+	if n := len(tr2.List().SlowCells); n != 0 {
+		t.Fatalf("below-threshold cell entered the slow log (%d entries)", n)
+	}
+}
+
+func TestTracerListGroupsByTrace(t *testing.T) {
+	tr := NewTracer(Config{})
+	tr.Record(Span{TraceID: "t1", Kind: "cell", Name: "c0", TotalNS: 100})
+	tr.Record(Span{TraceID: "t1", Kind: "request", Name: "POST /v1/sweep", TotalNS: 400})
+	tr.Record(Span{TraceID: "t2", Kind: "cell", Name: "c1", TotalNS: 50})
+	list := tr.List()
+	if len(list.Traces) != 2 {
+		t.Fatalf("traces = %+v", list.Traces)
+	}
+	// Most recent trace first.
+	if list.Traces[0].TraceID != "t2" || list.Traces[1].TraceID != "t1" {
+		t.Fatalf("order = %s, %s", list.Traces[0].TraceID, list.Traces[1].TraceID)
+	}
+	if list.Traces[1].Spans != 2 || list.Traces[1].TotalNS != 400 {
+		t.Fatalf("t1 summary = %+v (want request-span total)", list.Traces[1])
+	}
+	// t2 has no request span: falls back to summing cell spans.
+	if list.Traces[0].TotalNS != 50 {
+		t.Fatalf("t2 summary = %+v", list.Traces[0])
+	}
+	got := tr.ByTrace("t1")
+	if len(got.Spans) != 2 || got.Spans[0].Name != "c0" {
+		t.Fatalf("ByTrace(t1) = %+v", got)
+	}
+}
+
+func TestStageHistogramsCumulative(t *testing.T) {
+	h := NewStageHistograms()
+	var st Stages
+	st[StageCompute] = int64(3 * time.Millisecond) // le=0.0025? no: 0.003s -> bucket le=0.005
+	st[StageQueue] = int64(50 * time.Microsecond)  // le=0.0001
+	h.Record(st)
+	st[StageCompute] = int64(2 * time.Second) // le=2.5
+	st[StageQueue] = 0
+	h.Record(st)
+	snap := h.Snapshot()
+	if len(snap) != int(NumStages) {
+		t.Fatalf("stages = %d", len(snap))
+	}
+	compute := snap[StageCompute]
+	if compute.Count != 2 {
+		t.Fatalf("compute count = %d", compute.Count)
+	}
+	// Cumulative counts are monotone and end at the total.
+	last := int64(0)
+	for _, c := range compute.Cumulative {
+		if c < last {
+			t.Fatal("cumulative counts not monotone")
+		}
+		last = c
+	}
+	if last != compute.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last, compute.Count)
+	}
+	// 3ms lands at le=0.005 and 2s at le=2.5: cumulative steps there.
+	idx005 := indexOf(t, compute.Bounds, 0.005)
+	if compute.Cumulative[idx005] != 1 {
+		t.Fatalf("cum[le=0.005] = %d, want 1", compute.Cumulative[idx005])
+	}
+	// Queue saw one observation; zero-duration stages are not recorded.
+	if snap[StageQueue].Count != 1 {
+		t.Fatalf("queue count = %d", snap[StageQueue].Count)
+	}
+	if snap[StageDisk].Count != 0 {
+		t.Fatalf("disk count = %d", snap[StageDisk].Count)
+	}
+	wantSum := 0.003 + 2 + 50e-6
+	if diff := compute.SumSeconds + snap[StageQueue].SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", compute.SumSeconds+snap[StageQueue].SumSeconds, wantSum)
+	}
+}
+
+func indexOf(t *testing.T, bounds []float64, v float64) int {
+	t.Helper()
+	for i, b := range bounds {
+		if b == v {
+			return i
+		}
+	}
+	t.Fatalf("bound %v not in %v", v, bounds)
+	return -1
+}
+
+func TestTracerHandlers(t *testing.T) {
+	tr := NewTracer(Config{})
+	tr.Record(Span{TraceID: "abc", Kind: "cell", Name: "cell-0", TotalNS: 7})
+	w := httptest.NewRecorder()
+	tr.HandleList(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list TraceList
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list body: %v\n%s", err, w.Body.String())
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != "abc" {
+		t.Fatalf("list = %+v", list)
+	}
+	w = httptest.NewRecorder()
+	tr.HandleByID(w, httptest.NewRequest("GET", "/debug/traces/abc", nil), "abc")
+	var tt Trace
+	if err := json.Unmarshal(w.Body.Bytes(), &tt); err != nil {
+		t.Fatal(err)
+	}
+	if tt.TraceID != "abc" || len(tt.Spans) != 1 || tt.Spans[0].Name != "cell-0" {
+		t.Fatalf("trace = %+v", tt)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"neummu/internal/spatial"
 	"neummu/internal/store"
 	"neummu/internal/systolic"
+	"neummu/internal/trace"
 	"neummu/internal/vm"
 	"neummu/internal/walker"
 	"neummu/internal/workloads"
@@ -269,6 +270,20 @@ type ClusterConfig = cluster.Config
 // (worker URLs point at plain neuserve instances). Call Close after the
 // HTTP server has drained to stop the health checker.
 func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// Trace is the spans recorded under one request's trace ID, as served by
+// GET /debug/traces/{id} on a Server or Coordinator. Every /v1/sweep,
+// /v1/sim, and /v1/cells request is traced end to end: an inbound
+// X-Trace-Id header is honored (one is minted otherwise), propagated to
+// workers on cluster dispatch, and echoed on the response; each cell
+// carries per-stage latency attribution (queue wait, cache lookup, disk
+// read, compute, re-route, merge) plus its simulation counters.
+type Trace = trace.Trace
+
+// TraceConfig tunes tracing on a ServerConfig or ClusterConfig: span
+// ring-buffer capacity, the slow-cell threshold and log depth, and the
+// structured logger that receives slow-cell records.
+type TraceConfig = trace.Config
 
 // RemoteSweepFunc is the pluggable remote sweep backend type carried by
 // HarnessOptions.Remote.
