@@ -9,6 +9,8 @@
 //	neusim -model CNN-3 -batch 8 -mmu custom -ptws 128 -prmb 32 -tpreg
 //	neusim -model TF-2 -batch 1 -mmu iommu -repeat-cap 3
 //	neusim -model CNN-1,RNN-1,TF-1 -batches 1,4,8 -mmu iommu -parallel
+//	neusim -model TF-3 -batch 16 -mmu neummu -intra-cell-workers 8
+//	neusim -model TF-3 -batch 16 -mmu neummu -effort sampled -target-ci 0.05
 //
 // Workloads cover the paper's dense suite (CNN-1..3, RNN-1..3) and the
 // post-paper transformer family (TF-1 BERT-base encoder, TF-2 GPT-2-style
@@ -20,6 +22,12 @@
 // cell runs on the design-space sweep engine, fanned out over all CPUs by
 // default; -workers N bounds the pool and -workers 1 gives the serial
 // reference run (the rows are identical at every count, in grid order).
+//
+// The -effort/-target-ci/-intra-cell-workers flags select the unified
+// effort API: -intra-cell-workers N splits each simulation into epochs
+// evaluated in parallel (byte-identical results at every N >= 1), and
+// -effort sampled simulates a seeded statistical subset of epochs and
+// reports a 95% confidence interval alongside the estimate.
 package main
 
 import (
@@ -56,6 +64,9 @@ func main() {
 		tlbSize   = flag.Int("tlb", 2048, "TLB entries")
 		repeatCap = flag.Int("repeat-cap", 0, "cap simulated repeats per layer (0 = all)")
 		tileCap   = flag.Int("tile-cap", 0, "cap simulated tiles per layer instance (0 = all)")
+		effort    = flag.String("effort", "", "effort mode: exact, sampled, or quick (sweep mode); empty = exact")
+		targetCI  = flag.Float64("target-ci", 0, "sampled: target relative 95% CI half-width (0 = default 0.05)")
+		intraWork = flag.Int("intra-cell-workers", 0, "epoch-parallel workers inside each cell (0 = off; result bytes are identical at every count >= 1)")
 		useSpat   = flag.Bool("spatial", false, "use the spatial-array compute model instead of systolic")
 		compare   = flag.Bool("oracle-baseline", true, "also run the oracle and report normalized performance")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -79,6 +90,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The effort flags assemble the same unified exp.Effort the library and
+	// service APIs take; validating here gives flag-shaped errors up front.
+	eff := exp.Effort{Mode: *effort, TargetCI: *targetCI, IntraCellWorkers: *intraWork}
+	if err := eff.Validate(); err != nil {
+		fail(err)
+	}
+
 	models := strings.Split(*model, ",")
 	for i := range models {
 		models[i] = strings.TrimSpace(models[i])
@@ -93,7 +111,7 @@ func main() {
 				fail(fmt.Errorf("-parallel (all CPUs) conflicts with -workers %d", *workers))
 			}
 			err = runSweep(models, batchList, *mmuKind, *pages, *ptws, *prmb,
-				*tpreg, *tlbSize, *repeatCap, *tileCap, *workers, *useSpat, *compare, *asJSON)
+				*tpreg, *tlbSize, *repeatCap, *tileCap, *workers, eff, *useSpat, *compare, *asJSON)
 		}
 		if err != nil {
 			fail(err)
@@ -101,15 +119,19 @@ func main() {
 		return
 	}
 
+	if eff.Mode == exp.EffortQuick {
+		// Quick shrinks a sweep grid; a single cell has no grid to shrink.
+		fail(fmt.Errorf("-effort quick applies to sweep mode only (give -batches or a comma-separated -model)"))
+	}
 	if *asJSON {
 		if err := runJSON(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
-			*tlbSize, *repeatCap, *tileCap, *useSpat); err != nil {
+			*tlbSize, *repeatCap, *tileCap, eff, *useSpat); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if err := run(*model, *batch, *mmuKind, *pages, *ptws, *prmb, *tpreg,
-		*tlbSize, *repeatCap, *tileCap, *useSpat, *compare); err != nil {
+		*tlbSize, *repeatCap, *tileCap, eff, *useSpat, *compare); err != nil {
 		fail(err)
 	}
 }
@@ -172,17 +194,42 @@ func sweepAxes(mmuKind, pages string, ptws, prmb int, tpreg bool, tlbSize int,
 
 // sweepCell is the machine-readable row emitted by sweep mode with -json.
 type sweepCell struct {
-	Model          string  `json:"model"`
-	Batch          int     `json:"batch"`
-	MMU            string  `json:"mmu"`
-	PageSize       string  `json:"page_size"`
-	Cycles         int64   `json:"cycles"`
-	Translations   int64   `json:"translations"`
-	NormalizedPerf float64 `json:"normalized_perf"`
+	Model          string       `json:"model"`
+	Batch          int          `json:"batch"`
+	MMU            string       `json:"mmu"`
+	PageSize       string       `json:"page_size"`
+	Cycles         int64        `json:"cycles"`
+	Translations   int64        `json:"translations"`
+	NormalizedPerf float64      `json:"normalized_perf"`
+	Sampled        *sweepSample `json:"sampled,omitempty"`
+}
+
+// sweepSample is the sampled-mode block attached to JSON rows; nil (and
+// omitted) in exact mode. Cycle bounds are the 95% confidence interval of
+// the stratified estimate.
+type sweepSample struct {
+	Population int     `json:"population"`
+	Simulated  int     `json:"simulated"`
+	Seed       uint64  `json:"seed"`
+	TargetCI   float64 `json:"target_ci"`
+	RelCI95    float64 `json:"rel_ci95"`
+	CyclesLo   int64   `json:"cycles_lo"`
+	CyclesHi   int64   `json:"cycles_hi"`
+}
+
+func sampleOut(s *npu.SampleStats) *sweepSample {
+	if s == nil {
+		return nil
+	}
+	return &sweepSample{
+		Population: s.Population, Simulated: s.Simulated, Seed: s.Seed,
+		TargetCI: s.TargetCI, RelCI95: s.RelCI95,
+		CyclesLo: int64(s.CyclesLo), CyclesHi: int64(s.CyclesHi),
+	}
 }
 
 func runSweep(models []string, batchList []int, mmuKind, pages string, ptws, prmb int,
-	tpreg bool, tlbSize, repeatCap, tileCap, workers int, useSpatial, compare, asJSON bool) error {
+	tpreg bool, tlbSize, repeatCap, tileCap, workers int, eff exp.Effort, useSpatial, compare, asJSON bool) error {
 	if useSpatial {
 		return fmt.Errorf("-spatial is not supported in sweep mode (the engine normalizes against the systolic oracle)")
 	}
@@ -202,7 +249,7 @@ func runSweep(models []string, batchList []int, mmuKind, pages string, ptws, prm
 	}
 	// Models/Batches live on the Axes (sweepAxes sets them explicitly), so
 	// the Options only carry effort and parallelism knobs.
-	h := exp.New(exp.Options{RepeatCap: repeatCap, TileCap: tileCap, Workers: workers})
+	h := exp.New(exp.Options{RepeatCap: repeatCap, TileCap: tileCap, Workers: workers, Effort: eff})
 	rows, err := h.Sweep(ax)
 	if err != nil {
 		return err
@@ -215,6 +262,7 @@ func runSweep(models []string, batchList []int, mmuKind, pages string, ptws, prm
 			Cycles:         int64(r.Result.Cycles),
 			Translations:   r.Result.Translations,
 			NormalizedPerf: r.Perf,
+			Sampled:        sampleOut(r.Result.Sampled),
 		}
 	}
 	if asJSON {
@@ -236,13 +284,13 @@ func runSweep(models []string, batchList []int, mmuKind, pages string, ptws, prm
 }
 
 func run(model string, batch int, mmuKind, pages string, ptws, prmb int,
-	tpreg bool, tlbSize, repeatCap, tileCap int, useSpatial, compare bool) error {
+	tpreg bool, tlbSize, repeatCap, tileCap int, eff exp.Effort, useSpatial, compare bool) error {
 	m, err := workloads.ByName(model)
 	if err != nil {
 		return err
 	}
 	cfg, err := buildConfig(mmuKind, pages, ptws, prmb, tpreg, tlbSize,
-		repeatCap, tileCap, useSpatial)
+		repeatCap, tileCap, eff, useSpatial)
 	if err != nil {
 		return err
 	}
@@ -263,6 +311,10 @@ func run(model string, batch int, mmuKind, pages string, ptws, prmb int,
 	fmt.Printf("tiles            %d\n", res.Tiles)
 	fmt.Printf("translations     %d\n", res.Translations)
 	fmt.Printf("bytes fetched    %d\n", res.BytesFetched)
+	if s := res.Sampled; s != nil {
+		fmt.Printf("sampled          %d/%d epochs (seed %d), rel 95%% CI %.4f, cycles in [%d, %d]\n",
+			s.Simulated, s.Population, s.Seed, s.RelCI95, s.CyclesLo, s.CyclesHi)
+	}
 	fmt.Printf("page divergence  avg %.0f max %.0f per tile\n",
 		res.PageDivergence.Mean(), res.PageDivergence.Max)
 	if res.MMUKind != core.Oracle {
@@ -304,7 +356,7 @@ func parsePageSize(pages string) (vm.PageSize, error) {
 // buildConfig assembles the npu configuration shared by the text and JSON
 // paths.
 func buildConfig(mmuKind, pages string, ptws, prmb int, tpreg bool,
-	tlbSize, repeatCap, tileCap int, useSpatial bool) (npu.Config, error) {
+	tlbSize, repeatCap, tileCap int, eff exp.Effort, useSpatial bool) (npu.Config, error) {
 	ps, err := parsePageSize(pages)
 	if err != nil {
 		return npu.Config{}, err
@@ -337,6 +389,10 @@ func buildConfig(mmuKind, pages string, ptws, prmb int, tpreg bool,
 		Compute:   systolic.Baseline(),
 		RepeatCap: repeatCap,
 		TileCap:   tileCap,
+
+		IntraCellWorkers: eff.IntraCellWorkers,
+		Sampled:          eff.Sampled(),
+		SampleTargetCI:   eff.TargetCI,
 	}
 	if useSpatial {
 		cfg.Compute = spatial.Baseline()
@@ -368,16 +424,18 @@ type jsonResult struct {
 	SkippedLevels   int64   `json:"skipped_levels"`
 	OracleCycles    int64   `json:"oracle_cycles"`
 	NormalizedPerf  float64 `json:"normalized_perf"`
+
+	Sampled *sweepSample `json:"sampled,omitempty"`
 }
 
 func runJSON(model string, batch int, mmuKind, pages string, ptws, prmb int,
-	tpreg bool, tlbSize, repeatCap, tileCap int, useSpatial bool) error {
+	tpreg bool, tlbSize, repeatCap, tileCap int, eff exp.Effort, useSpatial bool) error {
 	m, err := workloads.ByName(model)
 	if err != nil {
 		return err
 	}
 	cfg, err := buildConfig(mmuKind, pages, ptws, prmb, tpreg, tlbSize,
-		repeatCap, tileCap, useSpatial)
+		repeatCap, tileCap, eff, useSpatial)
 	if err != nil {
 		return err
 	}
@@ -412,6 +470,7 @@ func runJSON(model string, batch int, mmuKind, pages string, ptws, prmb int,
 		SkippedLevels:   res.Walker.SkippedLevels,
 		OracleCycles:    int64(oracle.Cycles),
 		NormalizedPerf:  res.NormalizedPerf(oracle),
+		Sampled:         sampleOut(res.Sampled),
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

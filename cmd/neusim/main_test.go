@@ -1,10 +1,14 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"neummu/internal/exp"
+)
 
 func TestRunAllMMUKinds(t *testing.T) {
 	for _, kind := range []string{"oracle", "iommu", "neummu", "custom"} {
-		err := run("CNN-1", 1, kind, "4KB", 32, 8, true, 2048, 1, 2, false, false)
+		err := run("CNN-1", 1, kind, "4KB", 32, 8, true, 2048, 1, 2, exp.Effort{}, false, false)
 		if err != nil {
 			t.Fatalf("kind %s: %v", kind, err)
 		}
@@ -12,25 +16,25 @@ func TestRunAllMMUKinds(t *testing.T) {
 }
 
 func TestRunLargePages(t *testing.T) {
-	if err := run("RNN-2", 1, "neummu", "2MB", 128, 32, true, 2048, 1, 2, false, true); err != nil {
+	if err := run("RNN-2", 1, "neummu", "2MB", 128, 32, true, 2048, 1, 2, exp.Effort{}, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSpatial(t *testing.T) {
-	if err := run("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, true, false); err != nil {
+	if err := run("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, exp.Effort{}, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := runJSON("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, false); err != nil {
+	if err := runJSON("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, exp.Effort{}, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runJSON("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, false); err == nil {
+	if err := runJSON("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2, exp.Effort{}, false); err == nil {
 		t.Fatal("unknown model accepted by JSON path")
 	}
-	if err := runJSON("CNN-1", 1, "neummu", "3MB", 128, 32, true, 2048, 1, 2, false); err == nil {
+	if err := runJSON("CNN-1", 1, "neummu", "3MB", 128, 32, true, 2048, 1, 2, exp.Effort{}, false); err == nil {
 		t.Fatal("bad page size accepted by JSON path")
 	}
 }
@@ -38,7 +42,7 @@ func TestRunJSON(t *testing.T) {
 func TestRunSweepModes(t *testing.T) {
 	for _, kind := range []string{"oracle", "iommu", "neummu", "custom"} {
 		err := runSweep([]string{"CNN-1", "RNN-1"}, []int{1}, kind, "4KB",
-			32, 8, true, 2048, 1, 2, 0, false, true, false)
+			32, 8, true, 2048, 1, 2, 0, exp.Effort{}, false, true, false)
 		if err != nil {
 			t.Fatalf("kind %s: %v", kind, err)
 		}
@@ -47,23 +51,23 @@ func TestRunSweepModes(t *testing.T) {
 
 func TestRunSweepRejectsBadInput(t *testing.T) {
 	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
-		32, 8, true, 2048, 1, 2, 0, true, true, false); err == nil {
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{}, true, true, false); err == nil {
 		t.Fatal("-spatial accepted in sweep mode")
 	}
 	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
-		32, 8, true, 2048, 1, 2, 0, false, false, false); err == nil {
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{}, false, false, false); err == nil {
 		t.Fatal("-oracle-baseline=false accepted in sweep mode")
 	}
 	if err := runSweep([]string{"CNN-1"}, []int{1}, "custom", "4KB",
-		32, 8, true, 0, 1, 2, 0, false, true, false); err == nil {
+		32, 8, true, 0, 1, 2, 0, exp.Effort{}, false, true, false); err == nil {
 		t.Fatal("-tlb 0 accepted in custom sweep mode")
 	}
 	if err := runSweep([]string{"VGG"}, []int{1}, "neummu", "4KB",
-		32, 8, true, 2048, 1, 2, 0, false, true, false); err == nil {
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{}, false, true, false); err == nil {
 		t.Fatal("unknown model accepted in sweep mode")
 	}
 	if err := runSweep([]string{"CNN-1"}, []int{1}, "tlb-only", "4KB",
-		32, 8, true, 2048, 1, 2, 0, false, true, false); err == nil {
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{}, false, true, false); err == nil {
 		t.Fatal("unknown MMU kind accepted in sweep mode")
 	}
 	if _, err := parseBatches("1,x", 1); err == nil {
@@ -74,14 +78,31 @@ func TestRunSweepRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestEffortModes(t *testing.T) {
+	// The unified effort knobs thread through both entry points: sweep mode
+	// via exp.Options, single-run mode via npu.Config directly.
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{IntraCellWorkers: 2}, false, true, false); err != nil {
+		t.Fatalf("epoch-parallel sweep: %v", err)
+	}
+	if err := runSweep([]string{"CNN-1"}, []int{1}, "neummu", "4KB",
+		32, 8, true, 2048, 1, 2, 0, exp.Effort{Mode: exp.EffortSampled}, false, true, false); err != nil {
+		t.Fatalf("sampled sweep: %v", err)
+	}
+	if err := run("CNN-1", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 2,
+		exp.Effort{Mode: exp.EffortSampled, IntraCellWorkers: 2}, false, true); err != nil {
+		t.Fatalf("sampled single run: %v", err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+	if err := run("VGG", 1, "neummu", "4KB", 128, 32, true, 2048, 1, 1, exp.Effort{}, false, false); err == nil {
 		t.Fatal("unknown model accepted")
 	}
-	if err := run("CNN-1", 1, "tlb-only", "4KB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+	if err := run("CNN-1", 1, "tlb-only", "4KB", 128, 32, true, 2048, 1, 1, exp.Effort{}, false, false); err == nil {
 		t.Fatal("unknown MMU kind accepted")
 	}
-	if err := run("CNN-1", 1, "neummu", "1GB", 128, 32, true, 2048, 1, 1, false, false); err == nil {
+	if err := run("CNN-1", 1, "neummu", "1GB", 128, 32, true, 2048, 1, 1, exp.Effort{}, false, false); err == nil {
 		t.Fatal("unknown page size accepted")
 	}
 }

@@ -46,6 +46,9 @@ func main() {
 		fig        = flag.String("fig", "all", "figure to regenerate ('all', 'list', or comma-separated names)")
 		out        = flag.String("out", "", "write each figure to <dir>/<name>.txt instead of stdout")
 		quick      = flag.Bool("quick", false, "reduced sweep for smoke testing")
+		effort     = flag.String("effort", "", "effort mode: exact, sampled, or quick; empty = exact (-quick is the legacy spelling of quick)")
+		targetCI   = flag.Float64("target-ci", 0, "sampled: target relative 95% CI half-width (0 = default 0.05)")
+		intraWork  = flag.Int("intra-cell-workers", 0, "epoch-parallel workers inside each simulation (0 = off; output is byte-identical at every count >= 1)")
 		parallel   = flag.Bool("parallel", false, "fan sweeps out over all CPUs (the default; kept for explicitness)")
 		workers    = flag.Int("workers", 0, "exact simulation-worker count (0 = all CPUs, 1 = serial reference)")
 		clusterURL = flag.String("cluster", "", "delegate sweep evaluation to a neuserve cluster coordinator at this base URL (remote-safe figures only)")
@@ -80,7 +83,14 @@ func main() {
 	if *parallel && *workers != 0 {
 		fail(fmt.Errorf("-parallel (all CPUs) conflicts with -workers %d", *workers))
 	}
-	opts := exp.Options{Quick: *quick, Workers: *workers}
+	// The effort flags assemble the same unified exp.Effort the library and
+	// service APIs take; -quick remains the legacy spelling of quick mode
+	// (exp.Options folds the two together).
+	eff := exp.Effort{Mode: *effort, TargetCI: *targetCI, IntraCellWorkers: *intraWork}
+	if err := eff.Validate(); err != nil {
+		fail(err)
+	}
+	opts := exp.Options{Quick: *quick, Workers: *workers, Effort: eff}
 	if *clusterURL != "" {
 		opts.Remote = cluster.SweepFunc(*clusterURL, nil)
 	}

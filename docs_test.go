@@ -1,6 +1,7 @@
 package neummu
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -11,7 +12,7 @@ import (
 // docFiles are the markdown documents whose links CI's docs job keeps
 // honest (the acceptance contract behind docs/ARCHITECTURE.md: every
 // internal link must resolve).
-var docFiles = []string{"README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"}
+var docFiles = []string{"README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md", "docs/API.md"}
 
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
@@ -93,6 +94,33 @@ func TestDocsLinksResolve(t *testing.T) {
 	}
 }
 
+var jsonFence = regexp.MustCompile("(?s)```json\n(.*?)```")
+
+// TestDocsJSONFencesParse keeps the API reference's examples honest:
+// every ```json fence in the checked documents must be valid JSON —
+// either one document or NDJSON (one object per line), matching the wire
+// protocol's two body shapes. A fence that drifts from real syntax (a
+// renamed field is not caught here, but a broken example is) fails CI.
+func TestDocsJSONFencesParse(t *testing.T) {
+	for _, f := range docFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("missing document %s: %v", f, err)
+		}
+		for i, m := range jsonFence.FindAllStringSubmatch(string(data), -1) {
+			body := strings.TrimSpace(m[1])
+			if json.Valid([]byte(body)) {
+				continue
+			}
+			for _, line := range strings.Split(body, "\n") {
+				if line = strings.TrimSpace(line); line != "" && !json.Valid([]byte(line)) {
+					t.Errorf("%s: json fence %d has an invalid line: %s", f, i, line)
+				}
+			}
+		}
+	}
+}
+
 // TestDocsCrossLinked: README must link both companion documents, and the
 // architecture doc must exist with its core sections — the docs baseline
 // this repository's PRs are expected to keep current.
@@ -101,10 +129,17 @@ func TestDocsCrossLinked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"EXPERIMENTS.md", "docs/ARCHITECTURE.md"} {
+	for _, want := range []string{"EXPERIMENTS.md", "docs/ARCHITECTURE.md", "docs/API.md"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not link %s", want)
 		}
+	}
+	arch0, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch0), "API.md") {
+		t.Error("docs/ARCHITECTURE.md does not link docs/API.md")
 	}
 	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
 	if err != nil {

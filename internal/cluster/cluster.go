@@ -236,6 +236,7 @@ type slot struct {
 	cycles, translations int64
 	perf                 float64
 	counters             counters.Bundle
+	sampled              *serve.SampleJSON
 	hit                  bool
 	err                  error
 	// attempts counts dispatches that have carried this cell; bounded by
@@ -270,6 +271,7 @@ func (c *Coordinator) runCells(ctx context.Context, traceID string, h *exp.Harne
 			sl := slots[i]
 			sl.cycles, sl.translations, sl.perf = cl.Cycles, cl.Translations, cl.Perf
 			sl.counters = cl.Counters
+			sl.sampled = cl.Sampled
 			sl.hit = true
 			close(sl.done)
 			c.tracer.Record(trace.Span{
@@ -303,10 +305,10 @@ func (c *Coordinator) runCells(ctx context.Context, traceID string, h *exp.Harne
 // plan groups point indices by ring owner among healthy workers. indices
 // nil means all points.
 func (c *Coordinator) plan(h *exp.Harness, points []exp.Point, indices []int) (map[string][]int, error) {
-	opts := h.Options()
+	eff := serveEffort(h)
 	groups := make(map[string][]int)
 	assign := func(i int) error {
-		owner := c.ring.owner(serve.CellHash64(points[i], opts.RepeatCap, opts.TileCap), c.pool.unhealthy)
+		owner := c.ring.owner(serve.CellHash64(points[i], eff), c.pool.unhealthy)
 		if owner == "" {
 			return ErrNoWorkers
 		}
@@ -329,10 +331,28 @@ func (c *Coordinator) plan(h *exp.Harness, points []exp.Point, indices []int) (m
 	return groups, nil
 }
 
-// effortOf extracts the wire effort knobs from a normalized harness.
+// serveEffort reconstructs the canonical serve-level effort from a
+// normalized harness — the value cell routing hashes key on.
+func serveEffort(h *exp.Harness) serve.Effort {
+	opts := h.Options()
+	return serve.Effort{
+		Quick: opts.Quick, RepeatCap: opts.RepeatCap, TileCap: opts.TileCap,
+		Sampled:          opts.Effort.Sampled(),
+		TargetCI:         opts.Effort.TargetCI,
+		IntraCellWorkers: opts.Effort.IntraCellWorkers,
+	}
+}
+
+// effortOf extracts the wire effort knobs from a normalized harness: the
+// legacy flat fields always (so legacy-shaped work produces the exact
+// pre-redesign worker payload bytes), plus the effort object only when
+// the effort is epoch-structured and the flat fields cannot express it.
 func effortOf(h *exp.Harness) serve.CellsRequest {
 	opts := h.Options()
-	return serve.CellsRequest{Quick: opts.Quick, RepeatCap: opts.RepeatCap, TileCap: opts.TileCap}
+	return serve.CellsRequest{
+		Quick: opts.Quick, RepeatCap: opts.RepeatCap, TileCap: opts.TileCap,
+		Effort: serveEffort(h).ToWireEffort(),
+	}
 }
 
 // dispatch sends one shard (the points at idxs) to a worker and resolves
@@ -455,6 +475,7 @@ func (c *Coordinator) dispatch(ctx context.Context, traceID string, h *exp.Harne
 		w.completed.Add(1)
 		sl.cycles, sl.translations, sl.perf, sl.hit = line.Cycles, line.Translations, line.Perf, line.Hit
 		sl.counters = line.Counters
+		sl.sampled = line.Sampled
 		close(sl.done)
 		cellSpan(idxs[line.I], sl, "")
 		if jr != nil {
@@ -463,7 +484,7 @@ func (c *Coordinator) dispatch(ctx context.Context, traceID string, h *exp.Harne
 			// rewritten to the global grid index the journal is keyed by.
 			jr.appendCell(serve.CellLine{
 				I: idxs[line.I], Cycles: line.Cycles, Translations: line.Translations,
-				Perf: line.Perf, Counters: line.Counters,
+				Perf: line.Perf, Counters: line.Counters, Sampled: line.Sampled,
 			})
 		}
 	}
@@ -533,20 +554,24 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// reject maps routing errors to clean statuses: no healthy workers is a
-// 503 (the fleet is down, retrying later may help), worker overload is a
-// 429 (the single process's backpressure contract, passed through),
-// anything else a 500.
-func (c *Coordinator) reject(w http.ResponseWriter, err error) {
+// reject maps routing errors to clean statuses in the uniform error
+// envelope: no healthy workers is a 503 unavailable (the fleet is down,
+// retrying later may help), worker overload is a 429 overloaded (the
+// single process's backpressure contract, passed through), anything else
+// a 500 internal.
+func (c *Coordinator) reject(w http.ResponseWriter, traceID string, err error) {
 	switch {
 	case errors.Is(err, ErrNoWorkers):
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		serve.WriteError(w, http.StatusServiceUnavailable, serve.ErrCodeUnavailable,
+			err.Error(), traceID)
 	case errors.Is(err, ErrWorkerOverloaded):
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		serve.WriteError(w, http.StatusTooManyRequests, serve.ErrCodeOverloaded,
+			err.Error(), traceID)
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		serve.WriteError(w, http.StatusInternalServerError, serve.ErrCodeInternal,
+			err.Error(), traceID)
 	}
 }
 
@@ -558,13 +583,18 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	startT := time.Now()
 	traceID := trace.FromRequest(r)
 	var req serve.SweepRequest
-	if !serve.DecodeSweepRequest(w, r, &req) {
+	if !serve.DecodeSweepRequest(w, r, &req, traceID) {
 		return
 	}
-	h := c.harnesses.Get(serve.Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	eff, err := serve.MergeEffort(req.Effort, req.Quick, req.RepeatCap, req.TileCap)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
+		return
+	}
+	h := c.harnesses.Get(eff)
 	points, err := serve.ExpandSweep(h, req, c.cfg.MaxCellsPerRequest)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
 	// Checkpointing: resume from (and append to) this request's journal.
@@ -583,11 +613,12 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	slots, err := c.runCells(r.Context(), traceID, h, points, journaled, jr)
 	if err != nil {
-		c.reject(w, err)
+		c.reject(w, traceID, err)
 		c.finishRequest(traceID, r, startT, len(points), 0, err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	serve.MarkDeprecated(w.Header(), req.Quick || req.RepeatCap != 0 || req.TileCap != 0, req.Effort)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	flusher, _ := w.(http.Flusher)
@@ -607,7 +638,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 				// Nothing streamed yet: answer with a clean status (429
 				// for overload, 503 for a dead fleet) like the single
 				// process would at admission.
-				c.reject(w, sl.err)
+				c.reject(w, traceID, sl.err)
 				c.finishRequest(traceID, r, startT, len(points), mergeNS, sl.err)
 				return
 			}
@@ -620,7 +651,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		sum += sl.perf
 		agg = agg.Add(sl.counters)
 		te := time.Now()
-		enc.Encode(serve.PointRow(points[i], sl.cycles, sl.translations, sl.perf, sl.counters))
+		enc.Encode(serve.PointRow(points[i], sl.cycles, sl.translations, sl.perf, sl.counters, sl.sampled))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -671,23 +702,29 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	startT := time.Now()
 	traceID := trace.FromRequest(r)
 	var req serve.SweepRequest
-	if !serve.DecodeSweepRequest(w, r, &req) {
+	if !serve.DecodeSweepRequest(w, r, &req, traceID) {
 		return
 	}
-	h := c.harnesses.Get(serve.Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	eff, err := serve.MergeEffort(req.Effort, req.Quick, req.RepeatCap, req.TileCap)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
+		return
+	}
+	h := c.harnesses.Get(eff)
 	points, err := serve.ExpandSweep(h, req, c.cfg.MaxCellsPerRequest)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
 	if len(points) != 1 {
-		http.Error(w, fmt.Sprintf("sim requires exactly one cell, got %d (use /v1/sweep for grids)",
-			len(points)), http.StatusBadRequest)
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest,
+			fmt.Sprintf("sim requires exactly one cell, got %d (use /v1/sweep for grids)",
+				len(points)), traceID)
 		return
 	}
 	slots, err := c.runCells(r.Context(), traceID, h, points, nil, nil)
 	if err != nil {
-		c.reject(w, err)
+		c.reject(w, traceID, err)
 		c.finishRequest(traceID, r, startT, 1, 0, err)
 		return
 	}
@@ -699,11 +736,12 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sl.err != nil {
-		c.reject(w, sl.err)
+		c.reject(w, traceID, sl.err)
 		c.finishRequest(traceID, r, startT, 1, 0, sl.err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	serve.MarkDeprecated(w.Header(), req.Quick || req.RepeatCap != 0 || req.TileCap != 0, req.Effort)
 	if sl.hit {
 		w.Header().Set("X-Neuserve-Cache", "hit")
 	} else {
@@ -713,7 +751,7 @@ func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	te := time.Now()
-	enc.Encode(serve.PointRow(points[0], sl.cycles, sl.translations, sl.perf, sl.counters))
+	enc.Encode(serve.PointRow(points[0], sl.cycles, sl.translations, sl.perf, sl.counters, sl.sampled))
 	c.cellsServed.Add(1)
 	c.sweepLatency.Record(float64(time.Since(startT)) / float64(time.Millisecond))
 	c.finishRequest(traceID, r, startT, 1, int64(time.Since(te)), nil)
@@ -727,17 +765,23 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 	traceID := trace.FromRequest(r)
 	req, points, err := serve.ParseCellsRequest(r, c.cfg.MaxCellsPerRequest)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
-	h := c.harnesses.Get(serve.Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	eff, err := serve.MergeEffort(req.Effort, req.Quick, req.RepeatCap, req.TileCap)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err.Error(), traceID)
+		return
+	}
+	h := c.harnesses.Get(eff)
 	slots, err := c.runCells(r.Context(), traceID, h, points, nil, nil)
 	if err != nil {
-		c.reject(w, err)
+		c.reject(w, traceID, err)
 		c.finishRequest(traceID, r, startT, len(points), 0, err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	serve.MarkDeprecated(w.Header(), req.Quick || req.RepeatCap != 0 || req.TileCap != 0, req.Effort)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	flusher, _ := w.(http.Flusher)
@@ -753,7 +797,7 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 		if sl.err != nil && i == 0 && errors.Is(sl.err, ErrWorkerOverloaded) {
 			// Mirror the worker protocol: overload before any line is a
 			// 429 the caller can retry, not a stream of error lines.
-			c.reject(w, sl.err)
+			c.reject(w, traceID, sl.err)
 			c.finishRequest(traceID, r, startT, len(points), mergeNS, sl.err)
 			return
 		}
@@ -763,6 +807,7 @@ func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
 		} else {
 			line.Cycles, line.Translations, line.Perf = sl.cycles, sl.translations, sl.perf
 			line.Counters = sl.counters
+			line.Sampled = sl.sampled
 		}
 		te := time.Now()
 		enc.Encode(line)

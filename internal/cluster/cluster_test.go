@@ -278,10 +278,9 @@ func shardSplit(t *testing.T, urls ...string) map[string]int {
 		t.Fatal(err)
 	}
 	r := newRing(urls, 64)
-	opts := h.Options()
 	counts := map[string]int{}
 	for _, p := range points {
-		counts[r.owner(serve.CellHash64(p, opts.RepeatCap, opts.TileCap), nil)]++
+		counts[r.owner(serve.CellHash64(p, serveEffort(h)), nil)]++
 	}
 	return counts
 }

@@ -54,6 +54,14 @@ func remoteCells(baseURL string, client *http.Client, points []exp.Point, opts e
 		Quick:     opts.Quick,
 		RepeatCap: opts.RepeatCap,
 		TileCap:   opts.TileCap,
+		// Epoch-structured efforts need the effort object; legacy-shaped
+		// work keeps its pre-redesign payload bytes (Effort stays nil).
+		Effort: serve.Effort{
+			Quick: opts.Quick, RepeatCap: opts.RepeatCap, TileCap: opts.TileCap,
+			Sampled:          opts.Effort.Sampled(),
+			TargetCI:         opts.Effort.TargetCI,
+			IntraCellWorkers: opts.Effort.IntraCellWorkers,
+		}.ToWireEffort(),
 	}
 	for i, p := range points {
 		req.Points[i] = serve.ToWire(p)

@@ -137,10 +137,9 @@ func TestTracePropagationAcrossProcesses(t *testing.T) {
 		t.Fatal(err)
 	}
 	ring := newRing(peerURLs, 64)
-	opts := h.Options()
 	freshSplit := map[string]int{}
 	for _, p := range points {
-		freshSplit[ring.owner(serve.CellHash64(p, opts.RepeatCap, opts.TileCap), nil)]++
+		freshSplit[ring.owner(serve.CellHash64(p, serveEffort(h)), nil)]++
 	}
 	victim := workers[0]
 	for _, w := range workers[1:] {

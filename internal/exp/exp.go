@@ -37,12 +37,20 @@ type Options struct {
 	// Batches lists batch sizes (default 1, 4, 8 as in the paper).
 	Batches []int
 	// RepeatCap / TileCap truncate repeated layers and per-layer tiles;
-	// zero keeps the harness defaults (3 and 0).
+	// zero keeps the harness defaults (3 and 0). Deprecated in favor of
+	// the equivalent Effort fields; still accepted and folded in by
+	// normalized(), with explicit Effort fields winning.
 	RepeatCap int
 	TileCap   int
 	// Quick shrinks the sweep for benchmark iterations: CNN-1 and RNN-1
-	// only, batch 4, capped tiles.
+	// only, batch 4, capped tiles. Deprecated alias for
+	// Effort{Mode: EffortQuick}.
 	Quick bool
+	// Effort is the unified effort knob: mode (exact/sampled/quick),
+	// caps, sampling CI target and intra-cell parallelism. Zero fields
+	// inherit from the legacy flat knobs above, so existing callers keep
+	// working unchanged.
+	Effort Effort
 	// Workers bounds the sweep engine's host-side parallelism: how many
 	// independent simulations run at once. 0 selects GOMAXPROCS; 1 forces
 	// serial execution. Row ordering and values are identical at every
@@ -82,6 +90,25 @@ type RemoteCell struct {
 }
 
 func (o Options) normalized() Options {
+	// Fold the unified Effort knob and the legacy flat fields into one
+	// canonical view: explicit Effort fields win, the deprecated flat
+	// knobs fill the gaps, and the flat mirrors are written back so
+	// every existing reader of opts.Quick/RepeatCap/TileCap stays
+	// correct.
+	if o.Effort.Mode == EffortQuick {
+		o.Quick = true
+	} else if o.Effort.Mode == "" && o.Quick {
+		o.Effort.Mode = EffortQuick
+	}
+	if o.Effort.RepeatCap == 0 {
+		o.Effort.RepeatCap = o.RepeatCap
+	}
+	if o.Effort.TileCap == 0 {
+		o.Effort.TileCap = o.TileCap
+	}
+	if o.Effort.Sampled() && o.Effort.TargetCI == 0 {
+		o.Effort.TargetCI = 0.05
+	}
 	if o.Quick {
 		if len(o.Models) == 0 {
 			o.Models = []string{"CNN-1", "RNN-1"}
@@ -89,12 +116,13 @@ func (o Options) normalized() Options {
 		if len(o.Batches) == 0 {
 			o.Batches = []int{4}
 		}
-		if o.RepeatCap == 0 {
-			o.RepeatCap = 2
+		if o.Effort.RepeatCap == 0 {
+			o.Effort.RepeatCap = 2
 		}
-		if o.TileCap == 0 {
-			o.TileCap = 6
+		if o.Effort.TileCap == 0 {
+			o.Effort.TileCap = 6
 		}
+		o.RepeatCap, o.TileCap = o.Effort.RepeatCap, o.Effort.TileCap
 		return o
 	}
 	if len(o.Models) == 0 {
@@ -103,9 +131,10 @@ func (o Options) normalized() Options {
 	if len(o.Batches) == 0 {
 		o.Batches = []int{1, 4, 8}
 	}
-	if o.RepeatCap == 0 {
-		o.RepeatCap = 3
+	if o.Effort.RepeatCap == 0 {
+		o.Effort.RepeatCap = 3
 	}
+	o.RepeatCap, o.TileCap = o.Effort.RepeatCap, o.Effort.TileCap
 	return o
 }
 
@@ -219,11 +248,14 @@ func (h *Harness) translations(model string, batch int, ps vm.PageSize) (*vm.Sna
 
 func (h *Harness) npuConfig(mmu core.Config) npu.Config {
 	return npu.Config{
-		MMU:       mmu,
-		Memory:    memsys.Baseline(),
-		Compute:   systolic.Baseline(),
-		RepeatCap: h.opts.RepeatCap,
-		TileCap:   h.opts.TileCap,
+		MMU:              mmu,
+		Memory:           memsys.Baseline(),
+		Compute:          systolic.Baseline(),
+		RepeatCap:        h.opts.RepeatCap,
+		TileCap:          h.opts.TileCap,
+		IntraCellWorkers: h.opts.Effort.IntraCellWorkers,
+		Sampled:          h.opts.Effort.Sampled(),
+		SampleTargetCI:   h.opts.Effort.TargetCI,
 	}
 }
 

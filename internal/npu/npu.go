@@ -72,6 +72,38 @@ type Config struct {
 	// included — instead of rebuilding identical tables per simulation.
 	// Nil builds a private table (runs that fault or remap need one).
 	Translations *vm.Snapshot
+
+	// IntraCellWorkers, when positive, selects the epoch-structured
+	// engine (see epoch.go): the tile schedule is partitioned at natural
+	// barriers (per weight/KV block for encoders, per decode step for KV
+	// streaming) and each epoch runs on its own event queue seeded from
+	// the shared frozen translation snapshot, up to IntraCellWorkers
+	// epochs concurrently. The merged result is byte-identical for every
+	// worker count ≥ 1 but is a distinct, explicitly keyed schedule
+	// semantics from the monolithic engine (epochs start cold: TLB and
+	// path-cache state does not cross epoch boundaries). Runs carrying
+	// observers (Timeline/TraceVAs/Watch/TileTrace) always use the
+	// monolithic engine regardless of this knob.
+	IntraCellWorkers int
+	// Sampled selects statistical simulation: only a seeded subset of
+	// epochs is simulated (stratified per layer) and totals are scaled up
+	// by per-stratum estimators, with a 95% confidence interval reported
+	// in Result.Sampled. Sampled runs imply the epoch engine.
+	Sampled bool
+	// SampleTargetCI is the desired relative half-width of the sampled
+	// cycle estimate's 95% CI; it sizes the sampling fraction (0 = 0.05).
+	SampleTargetCI float64
+	// SampleSeed overrides the derived sampling seed (0 = derive from
+	// model, batch, caps and target CI — deliberately excluding the MMU
+	// kind, so an oracle normalization run samples exactly the same
+	// epochs as its candidate and the performance ratio stays paired).
+	SampleSeed uint64
+}
+
+// observed reports whether any per-event observer is attached; observer
+// studies require the monolithic engine's single global timeline.
+func (c Config) observed() bool {
+	return c.TimelineWindow > 0 || c.TraceVAs != nil || c.Watch != nil || c.TileTrace != nil
 }
 
 // Result summarizes one simulation.
@@ -105,6 +137,11 @@ type Result struct {
 	// into the standard record that travels through serve/cluster rows and
 	// that the invariants suite cross-checks (see internal/counters).
 	Counters counters.Bundle
+
+	// Sampled carries the sampling audit of a sampled-mode run — epoch
+	// population, simulated subset, seed and the achieved confidence
+	// interval; nil for exact runs.
+	Sampled *SampleStats
 
 	Timeline *stats.TimeSeries
 }
@@ -154,6 +191,9 @@ func Run(plan *workloads.Plan, cfg Config) (*Result, error) {
 	if ps == 0 {
 		ps = vm.Page4K
 		cfg.MMU.PageSize = ps
+	}
+	if (cfg.IntraCellWorkers > 0 || cfg.Sampled) && !cfg.observed() {
+		return runEpoched(plan, cfg)
 	}
 
 	snap := cfg.Translations

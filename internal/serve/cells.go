@@ -137,9 +137,15 @@ func (w WirePoint) Point() (exp.Point, error) {
 type CellsRequest struct {
 	Points []WirePoint `json:"points"`
 
+	// Legacy flat effort fields, accepted forever (see SweepRequest).
 	Quick     bool `json:"quick,omitempty"`
 	RepeatCap int  `json:"repeat_cap,omitempty"`
 	TileCap   int  `json:"tile_cap,omitempty"`
+
+	// Effort is the unified effort object; nil marshals to nothing so
+	// legacy-shaped payload bytes — and the cluster journal headers and
+	// sweep hashes derived from them — are unchanged by the redesign.
+	Effort *WireEffort `json:"effort,omitempty"`
 }
 
 // CellLine is one NDJSON line of a /v1/cells response: the result of
@@ -154,6 +160,10 @@ type CellLine struct {
 	// the coordinator so a merged sweep reproduces a single process's rows
 	// byte for byte.
 	Counters counters.Bundle `json:"counters"`
+	// Sampled is the sampling audit for sampled-mode cells (absent on
+	// exact cells, keeping legacy lines byte-identical), carried verbatim
+	// so the coordinator's merged rows match a single process's.
+	Sampled *SampleJSON `json:"sampled,omitempty"`
 	// Hit reports the cell was answered from this worker's cache.
 	Hit bool   `json:"hit,omitempty"`
 	Err string `json:"error,omitempty"`
@@ -161,15 +171,25 @@ type CellLine struct {
 
 // CellHash64 content-addresses one cell for cross-process routing: unlike
 // the per-process maphash key the cache uses, it is a pure function of the
-// point and the normalized effort caps, so every coordinator (and every
+// point and the normalized effort, so every coordinator (and every
 // restart) routes the same cell to the same worker. FNV-1a over the
-// canonical field encoding.
-func CellHash64(p exp.Point, repeatCap, tileCap int) uint64 {
+// canonical field encoding. Efforts the monolithic exact engine serves
+// (the only kind that existed before the unified effort API) hash to
+// exactly their pre-redesign value — an upgraded coordinator keeps
+// routing legacy work to the same workers, and mixed-version fleets
+// agree on placement. Epoch-structured efforts (sampled or
+// intra-cell-parallel) append a suffix keyed on the engine's semantics —
+// sampled-ness and CI target, never the worker count, which cannot
+// change result bytes.
+func CellHash64(p exp.Point, e Effort) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%s|%d|%d|%d|%t|%d|%d|%d|%d",
 		p.Kind, p.PageSize, p.Model, p.Batch,
 		p.PTWs, p.PRMBSlots, p.PTS, p.Path, p.TLBEntries,
-		repeatCap, tileCap)
+		e.RepeatCap, e.TileCap)
+	if e.Epoched() {
+		fmt.Fprintf(h, "|epoched|s=%t|ci=%g", e.Sampled, e.TargetCI)
+	}
 	return h.Sum64()
 }
 
@@ -177,12 +197,12 @@ func CellHash64(p exp.Point, repeatCap, tileCap int) uint64 {
 // single rendering path shared by the in-process sweep handler and the
 // cluster coordinator's merge, which is what makes a merged cluster sweep
 // byte-identical to a single-process one.
-func PointRow(p exp.Point, cycles, translations int64, perf float64, c counters.Bundle) CellRow {
+func PointRow(p exp.Point, cycles, translations int64, perf float64, c counters.Bundle, sampled *SampleJSON) CellRow {
 	return CellRow{
 		Model: p.Model, Batch: p.Batch,
 		MMU: p.Kind.String(), PageSize: p.PageSize.String(),
 		Cycles: cycles, Translations: translations, NormalizedPerf: perf,
-		Counters: c,
+		Counters: c, Sampled: sampled,
 	}
 }
 
@@ -280,17 +300,23 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	traceID := trace.FromRequest(r)
 	req, points, err := ParseCellsRequest(r, s.cfg.MaxCellsPerRequest)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
-	h := s.harness(Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	e, err := MergeEffort(req.Effort, req.Quick, req.RepeatCap, req.TileCap)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error(), traceID)
+		return
+	}
+	h := s.harness(e)
 	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
-		s.reject(w, err)
+		s.reject(w, traceID, err)
 		s.finishRequest(traceID, r, start, len(points), 0, 0, err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	MarkDeprecated(w.Header(), req.Quick || req.RepeatCap != 0 || req.TileCap != 0, req.Effort)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	w.Header().Set("X-Neuserve-Cache",
@@ -309,6 +335,7 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 		} else {
 			line.Cycles, line.Translations, line.Perf = v.Cycles, v.Translations, v.Perf
 			line.Counters = v.Counters
+			line.Sampled = v.Sampled
 		}
 		te := time.Now()
 		enc.Encode(line)

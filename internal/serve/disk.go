@@ -21,11 +21,30 @@ type storeKey struct {
 	Point     WirePoint `json:"point"`
 	RepeatCap int       `json:"repeat_cap"`
 	TileCap   int       `json:"tile_cap"`
+	// Epoch-engine identity, omitted for monolithic-exact cells so every
+	// pre-redesign store entry keeps its exact key bytes (and stays
+	// readable after the upgrade).
+	Sampled  bool    `json:"sampled,omitempty"`
+	TargetCI float64 `json:"target_ci,omitempty"`
+	Epoched  bool    `json:"epoched,omitempty"`
+}
+
+// effort reconstructs the canonical routing effort from a cache key: the
+// knobs that identify the result, with the worker count — which never
+// changes result bytes — canonicalized away (epoched-ness survives as a
+// single worker).
+func (k cellKey) effort() Effort {
+	e := Effort{RepeatCap: k.repeatCap, TileCap: k.tileCap, Sampled: k.sampled, TargetCI: k.targetCI}
+	if k.epoched && !e.Epoched() {
+		e.IntraCellWorkers = 1
+	}
+	return e
 }
 
 func storeKeyBytes(k cellKey) []byte {
 	b, err := json.Marshal(storeKey{
 		Point: ToWire(k.point), RepeatCap: k.repeatCap, TileCap: k.tileCap,
+		Sampled: k.sampled, TargetCI: k.targetCI, Epoched: k.epoched,
 	})
 	if err != nil {
 		// Marshal of plain structs with string/int/bool fields cannot fail.
@@ -43,7 +62,7 @@ func (s *Server) diskGet(k cellKey) (cellValue, bool) {
 	if s.store == nil {
 		return cellValue{}, false
 	}
-	raw, ok := s.store.Get(CellHash64(k.point, k.repeatCap, k.tileCap), storeKeyBytes(k))
+	raw, ok := s.store.Get(CellHash64(k.point, k.effort()), storeKeyBytes(k))
 	if !ok {
 		return cellValue{}, false
 	}
@@ -69,5 +88,5 @@ func (s *Server) diskPut(k cellKey, v cellValue) {
 	if err != nil {
 		panic("serve: encoding store value: " + err.Error())
 	}
-	s.store.Put(CellHash64(k.point, k.repeatCap, k.tileCap), storeKeyBytes(k), raw)
+	s.store.Put(CellHash64(k.point, k.effort()), storeKeyBytes(k), raw)
 }

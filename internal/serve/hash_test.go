@@ -39,12 +39,13 @@ func FuzzCellHash64(f *testing.F) {
 	f.Fuzz(func(t *testing.T, kind, ps uint8, model string, batch, ptws, prmb int,
 		pts bool, path uint8, tlb, repeatCap, tileCap int) {
 		p := pointFrom(kind, ps, model, batch, ptws, prmb, pts, path, tlb)
-		h := CellHash64(p, repeatCap, tileCap)
+		eff := Effort{RepeatCap: repeatCap, TileCap: tileCap}
+		h := CellHash64(p, eff)
 		// Determinism: the hash is a pure function of the fields, so an
 		// identically rebuilt point (a coordinator restart, another
 		// process) must route identically.
 		q := pointFrom(kind, ps, model, batch, ptws, prmb, pts, path, tlb)
-		if h2 := CellHash64(q, repeatCap, tileCap); h2 != h {
+		if h2 := CellHash64(q, eff); h2 != h {
 			t.Fatalf("hash not deterministic: %#x then %#x for %+v", h, h2, p)
 		}
 		// Sensitivity: every field that changes the simulation must change
@@ -62,12 +63,33 @@ func FuzzCellHash64(f *testing.F) {
 		mutants[7].Path = walker.PathKind((path + 1) % 4)
 		mutants[8].TLBEntries++
 		for i, mp := range mutants {
-			if CellHash64(mp, repeatCap, tileCap) == h {
+			if CellHash64(mp, eff) == h {
 				t.Fatalf("mutating field %d did not change the hash of %+v", i, p)
 			}
 		}
-		if CellHash64(p, repeatCap+1, tileCap) == h || CellHash64(p, repeatCap, tileCap+1) == h {
+		if CellHash64(p, Effort{RepeatCap: repeatCap + 1, TileCap: tileCap}) == h ||
+			CellHash64(p, Effort{RepeatCap: repeatCap, TileCap: tileCap + 1}) == h {
 			t.Fatalf("effort caps not part of the cell identity for %+v", p)
+		}
+		// Engine semantics must be part of the identity: sampled and
+		// exact-epoched cells may never alias the monolithic-exact cell
+		// (or each other), while the intra-cell worker count — which
+		// cannot change result bytes — must never move the route.
+		sampled := Effort{RepeatCap: repeatCap, TileCap: tileCap, Sampled: true, TargetCI: 0.05}
+		epoched := Effort{RepeatCap: repeatCap, TileCap: tileCap, IntraCellWorkers: 4}
+		hs, he := CellHash64(p, sampled), CellHash64(p, epoched)
+		if hs == h || he == h || hs == he {
+			t.Fatalf("exact/sampled/epoched efforts alias for %+v", p)
+		}
+		ci := sampled
+		ci.TargetCI = 0.1
+		if CellHash64(p, ci) == hs {
+			t.Fatalf("sampled CI target not part of the cell identity for %+v", p)
+		}
+		moreWorkers := epoched
+		moreWorkers.IntraCellWorkers = 9
+		if CellHash64(p, moreWorkers) != he {
+			t.Fatalf("intra-cell worker count moved the route for %+v", p)
 		}
 	})
 }
@@ -105,7 +127,7 @@ func TestCellHashCollisionRateAcrossRandomGrids(t *testing.T) {
 			continue
 		}
 		seen[c] = struct{}{}
-		h := CellHash64(c.p, c.repeatCap, c.tileCap)
+		h := CellHash64(c.p, Effort{RepeatCap: c.repeatCap, TileCap: c.tileCap})
 		if prev, ok := hashes[h]; ok {
 			collisions++
 			t.Logf("collision: %+v and %+v both hash to %#x", prev, c, h)

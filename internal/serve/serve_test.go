@@ -780,7 +780,7 @@ func TestWirePointRoundTrip(t *testing.T) {
 		if rt != p {
 			t.Errorf("round trip changed %+v to %+v", p, rt)
 		}
-		if CellHash64(rt, 2, 6) != CellHash64(p, 2, 6) {
+		if CellHash64(rt, Effort{RepeatCap: 2, TileCap: 6}) != CellHash64(p, Effort{RepeatCap: 2, TileCap: 6}) {
 			t.Errorf("%s: hash changed across round trip", p.Label())
 		}
 	}

@@ -95,11 +95,25 @@ func (c Config) normalized() Config {
 
 // Effort identifies a harness configuration: the effort knobs a request
 // may set. Harnesses are memoized per effort so all requests at one effort
-// share plan/snapshot/oracle caches.
+// share plan/snapshot/oracle caches. Requests express it either through
+// the legacy flat quick/repeat_cap/tile_cap fields or the unified effort
+// object (WireEffort); mergeEffort folds both into this one type so the
+// two spellings can never diverge.
 type Effort struct {
 	Quick     bool
 	RepeatCap int
 	TileCap   int
+	// Sampled selects statistical simulation: a seeded, stratified subset
+	// of each cell's epochs, scaled up with confidence intervals.
+	Sampled bool
+	// TargetCI is the sampled-mode relative 95% CI half-width target
+	// (normalized to 0.05 when sampled and unset).
+	TargetCI float64
+	// IntraCellWorkers splits each cell across cores at epoch barriers.
+	// Any value ≥ 1 selects the epoch-structured engine; the count itself
+	// never changes result bytes (results are identical for every worker
+	// count ≥ 1), so cell keys carry only the epoched-ness bit.
+	IntraCellWorkers int
 }
 
 // HarnessCache memoizes one exp.Harness per effort level. It is the one
@@ -129,6 +143,7 @@ func (c *HarnessCache) Get(e Effort) *exp.Harness {
 	if !ok {
 		h = exp.New(exp.Options{
 			Quick: e.Quick, RepeatCap: e.RepeatCap, TileCap: e.TileCap,
+			Effort:  e.expEffort(),
 			Workers: c.workers,
 		})
 		c.m[e] = h
@@ -137,12 +152,19 @@ func (c *HarnessCache) Get(e Effort) *exp.Harness {
 }
 
 // cellKey content-addresses one simulation cell: the full design Point
-// plus the normalized effort caps that shape its schedule. Everything that
-// influences the result is in the key; nothing else is.
+// plus the normalized effort knobs that shape its result. Everything that
+// influences the result is in the key; nothing else is — in particular
+// the intra-cell worker count stays out (results are identical for every
+// count ≥ 1) while the epoched-ness of the engine goes in (the
+// epoch-structured schedule is a distinct semantics from the monolithic
+// one, so exact, exact-epoched and sampled cells never alias).
 type cellKey struct {
 	point     exp.Point
 	repeatCap int
 	tileCap   int
+	sampled   bool
+	targetCI  float64
+	epoched   bool
 }
 
 // cellValue is the cached result of one cell — the scalars the wire rows
@@ -156,6 +178,10 @@ type cellValue struct {
 	Translations int64           `json:"translations"`
 	Perf         float64         `json:"perf"`
 	Counters     counters.Bundle `json:"counters"`
+	// Sampled is the sampling audit for cells simulated in sampled mode;
+	// nil (and omitted on disk) for exact cells, so pre-redesign store
+	// entries decode unchanged and exact entries encode unchanged.
+	Sampled *SampleJSON `json:"sampled,omitempty"`
 }
 
 // cellEntryCost estimates a cell cache entry's footprint: the value
@@ -163,12 +189,16 @@ type cellValue struct {
 // map/list bookkeeping around them.
 const cellEntryCost = 640
 
-// figKey content-addresses one rendered figure body.
+// figKey content-addresses one rendered figure body. Like cellKey it
+// carries the epoched-ness of the engine, never the worker count.
 type figKey struct {
-	name    string
-	quick   bool
-	repeat  int
-	tileCap int
+	name     string
+	quick    bool
+	repeat   int
+	tileCap  int
+	sampled  bool
+	targetCI float64
+	epoched  bool
 }
 
 // Server is the simulation service. Create with New, mount as an
@@ -294,8 +324,11 @@ func (s *Server) handleFigureList(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(out)
 }
 
-// parseEffort reads the quick/repeat_cap/tile_cap query parameters shared
-// by the figure endpoint.
+// parseEffort reads the effort query parameters shared by the figure
+// endpoint: the legacy quick/repeat_cap/tile_cap trio plus the unified
+// mode/target_ci/intra_cell_workers knobs, folded through the same
+// mergeEffort path the JSON endpoints use so the two surfaces can never
+// diverge on validation or defaults.
 func parseEffort(r *http.Request) (Effort, error) {
 	var e Effort
 	q := r.URL.Query()
@@ -305,6 +338,28 @@ func parseEffort(r *http.Request) (Effort, error) {
 			return e, fmt.Errorf("bad quick value %q", v)
 		}
 		e.Quick = b
+	}
+	var we WireEffort
+	wireSet := false
+	if v := q.Get("mode"); v != "" {
+		we.Mode = v
+		wireSet = true
+	}
+	if v := q.Get("target_ci"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return e, fmt.Errorf("bad target_ci value %q", v)
+		}
+		we.TargetCI = f
+		wireSet = true
+	}
+	if v := q.Get("intra_cell_workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return e, fmt.Errorf("bad intra_cell_workers value %q", v)
+		}
+		we.IntraCellWorkers = n
+		wireSet = true
 	}
 	for _, p := range []struct {
 		name string
@@ -318,7 +373,10 @@ func parseEffort(r *http.Request) (Effort, error) {
 			*p.dst = n
 		}
 	}
-	return e, nil
+	if !wireSet {
+		return e, nil
+	}
+	return MergeEffort(&we, e.Quick, e.RepeatCap, e.TileCap)
 }
 
 // handleFigure renders one figure. The response body is byte-identical to
@@ -327,19 +385,25 @@ func parseEffort(r *http.Request) (Effort, error) {
 // stores the rendered bytes verbatim.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	traceID := trace.FromRequest(r)
 	name := r.PathValue("name")
 	if _, ok := figures.ByName(name); !ok {
-		http.Error(w, figures.UnknownNameError(name).Error(), http.StatusNotFound)
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound,
+			figures.UnknownNameError(name).Error(), traceID)
 		return
 	}
 	e, err := parseEffort(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
 	h := s.harness(e)
 	opts := h.Options()
-	key := figKey{name: name, quick: e.Quick, repeat: opts.RepeatCap, tileCap: opts.TileCap}
+	key := figKey{
+		name: name, quick: e.Quick, repeat: opts.RepeatCap, tileCap: opts.TileCap,
+		sampled: opts.Effort.Sampled(), targetCI: opts.Effort.TargetCI,
+		epoched: opts.Effort.Epoched(),
+	}
 	hash := maphash.Comparable(s.seed, key)
 	fl, err := s.figs.Resolve(r.Context(), key,
 		func(run func()) error { return s.sched.Submit(hash, run) },
@@ -352,13 +416,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return buf.Bytes(), nil
 		})
 	if err != nil {
-		s.reject(w, err)
+		s.reject(w, traceID, err)
 		return
 	}
 	setCacheHeader(w, fl.Hit)
 	body, err := fl.Wait()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		WriteError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error(), traceID)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -381,12 +445,26 @@ type SweepRequest struct {
 	PRMBSlots  []int    `json:"prmb_slots,omitempty"`
 	TLBEntries []int    `json:"tlb_entries,omitempty"`
 
-	// Effort: Quick shrinks default grids and caps for smoke use;
-	// RepeatCap/TileCap truncate schedules (0 = harness default, matching
-	// paperfigs; -1 = simulate everything).
+	// Legacy flat effort fields: Quick shrinks default grids and caps for
+	// smoke use; RepeatCap/TileCap truncate schedules (0 = harness
+	// default, matching paperfigs; -1 = simulate everything). Deprecated
+	// in favor of Effort, but accepted forever with identical behavior;
+	// responses to requests still using them carry an
+	// X-Neuserve-Deprecated header.
 	Quick     bool `json:"quick,omitempty"`
 	RepeatCap int  `json:"repeat_cap,omitempty"`
 	TileCap   int  `json:"tile_cap,omitempty"`
+
+	// Effort is the unified effort object. When set, its fields win over
+	// the legacy flat ones (see mergeEffort). A pointer so unset efforts
+	// marshal to nothing — pre-redesign payload bytes are unchanged.
+	Effort *WireEffort `json:"effort,omitempty"`
+}
+
+// legacyEffortUsed reports whether the request selected effort through
+// the deprecated flat fields.
+func (r SweepRequest) legacyEffortUsed() bool {
+	return r.Quick || r.RepeatCap != 0 || r.TileCap != 0
 }
 
 // CellRow is one NDJSON row of a sweep response (and the whole /v1/sim
@@ -401,6 +479,9 @@ type CellRow struct {
 	NormalizedPerf float64 `json:"normalized_perf"`
 	// Counters is the cell's audited counter bundle (internal/counters).
 	Counters counters.Bundle `json:"counters"`
+	// Sampled is the sampling audit, present only for sampled-mode cells
+	// (exact rows are byte-identical to pre-redesign ones).
+	Sampled *SampleJSON `json:"sampled,omitempty"`
 }
 
 // SweepSummary is the final NDJSON line of a sweep response. Counters is
@@ -457,7 +538,11 @@ func parsePageSizes(names []string) ([]vm.PageSize, error) {
 // expand validates the request and turns it into its deterministic point
 // grid plus the harness that will run it.
 func (s *Server) expand(req SweepRequest) (*exp.Harness, []exp.Point, error) {
-	h := s.harness(Effort{Quick: req.Quick, RepeatCap: req.RepeatCap, TileCap: req.TileCap})
+	e, err := MergeEffort(req.Effort, req.Quick, req.RepeatCap, req.TileCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := s.harness(e)
 	points, err := ExpandSweep(h, req, s.cfg.MaxCellsPerRequest)
 	if err != nil {
 		return nil, nil, err
@@ -493,7 +578,11 @@ func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.
 	timings = make([]*cellTiming, len(points))
 	for i, p := range points {
 		p := p
-		key := cellKey{point: p, repeatCap: opts.RepeatCap, tileCap: opts.TileCap}
+		key := cellKey{
+			point: p, repeatCap: opts.RepeatCap, tileCap: opts.TileCap,
+			sampled: opts.Effort.Sampled(), targetCI: opts.Effort.TargetCI,
+			epoched: opts.Effort.Epoched(),
+		}
 		hash := maphash.Comparable(s.seed, key)
 		ct := &cellTiming{start: time.Now()}
 		timings[i] = ct
@@ -532,6 +621,7 @@ func (s *Server) resolveCells(ctx context.Context, h *exp.Harness, points []exp.
 					Translations: res.Translations,
 					Perf:         perf,
 					Counters:     res.Counters,
+					Sampled:      sampleJSON(res.Sampled),
 				}
 				s.diskPut(key, v)
 				return v, nil
@@ -610,15 +700,17 @@ func (s *Server) finishRequest(traceID string, r *http.Request, start time.Time,
 	s.logger.Info("request", attrs...)
 }
 
-// reject maps scheduler admission errors to 429 and anything else to 500.
-func (s *Server) reject(w http.ResponseWriter, err error) {
+// reject maps scheduler admission errors to a 429 envelope and anything
+// else to a 500 envelope.
+func (s *Server) reject(w http.ResponseWriter, traceID string, err error) {
 	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed) {
 		s.metrics.overloads.Add(1)
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server overloaded: job queue full", http.StatusTooManyRequests)
+		WriteError(w, http.StatusTooManyRequests, ErrCodeOverloaded,
+			"server overloaded: job queue full", traceID)
 		return
 	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
+	WriteError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error(), traceID)
 }
 
 func setCacheHeader(w http.ResponseWriter, hit bool) {
@@ -629,21 +721,24 @@ func setCacheHeader(w http.ResponseWriter, hit bool) {
 	}
 }
 
-// DecodeSweepRequest strictly decodes a sweep/sim payload, answering 400
-// itself on failure. Shared with the cluster coordinator so both tiers
-// reject malformed payloads identically.
-func DecodeSweepRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest) bool {
+// DecodeSweepRequest strictly decodes a sweep/sim payload, answering a
+// 400 bad_request envelope itself on failure. Shared with the cluster
+// coordinator so both tiers reject malformed payloads identically.
+// traceID is the caller's already-resolved request trace ID (resolving
+// it here would mint a second one).
+func DecodeSweepRequest(w http.ResponseWriter, r *http.Request, req *SweepRequest, traceID string) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			"bad request body: "+err.Error(), traceID)
 		return false
 	}
 	return true
 }
 
 func rowFor(p exp.Point, v cellValue) CellRow {
-	return PointRow(p, v.Cycles, v.Translations, v.Perf, v.Counters)
+	return PointRow(p, v.Cycles, v.Translations, v.Perf, v.Counters, v.Sampled)
 }
 
 // handleSweep streams one NDJSON row per cell, in grid order, then a
@@ -654,21 +749,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	traceID := trace.FromRequest(r)
 	var req SweepRequest
-	if !DecodeSweepRequest(w, r, &req) {
+	if !DecodeSweepRequest(w, r, &req, traceID) {
 		return
 	}
 	h, points, err := s.expand(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
 	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
-		s.reject(w, err)
+		s.reject(w, traceID, err)
 		s.finishRequest(traceID, r, start, len(points), 0, 0, err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	MarkDeprecated(w.Header(), req.legacyEffortUsed(), req.Effort)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Neuserve-Cells", strconv.Itoa(len(points)))
 	w.Header().Set("X-Neuserve-Cache",
@@ -716,33 +812,35 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	traceID := trace.FromRequest(r)
 	var req SweepRequest
-	if !DecodeSweepRequest(w, r, &req) {
+	if !DecodeSweepRequest(w, r, &req, traceID) {
 		return
 	}
 	h, points, err := s.expand(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error(), traceID)
 		return
 	}
 	if len(points) != 1 {
-		http.Error(w, fmt.Sprintf("sim requires exactly one cell, got %d (use /v1/sweep for grids)",
-			len(points)), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Sprintf("sim requires exactly one cell, got %d (use /v1/sweep for grids)",
+				len(points)), traceID)
 		return
 	}
 	flights, timings, hits, err := s.resolveCells(r.Context(), h, points)
 	if err != nil {
-		s.reject(w, err)
+		s.reject(w, traceID, err)
 		s.finishRequest(traceID, r, start, 1, 0, 0, err)
 		return
 	}
 	w.Header().Set(trace.Header, traceID)
+	MarkDeprecated(w.Header(), req.legacyEffortUsed(), req.Effort)
 	setCacheHeader(w, hits == 1)
 	tw := time.Now()
 	v, err := flights[0].Wait()
 	waitNS := int64(time.Since(tw))
 	s.recordCellSpan(traceID, 0, points[0], flights[0], timings[0], waitNS, v, err)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		WriteError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error(), traceID)
 		s.finishRequest(traceID, r, start, 1, hits, 0, err)
 		return
 	}

@@ -1,0 +1,61 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than
+// two observations — a single draw carries no spread information).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Stratum is one stratum of a stratified sample without replacement: a
+// finite population of Population units of which the Values were
+// observed. The sampled-simulation estimators (internal/npu) use one
+// stratum per layer, with each value an epoch's cycle contribution.
+type Stratum struct {
+	Population int
+	Values     []float64
+}
+
+// StratifiedEstimate returns the Horvitz–Thompson estimate of the
+// population total across strata (each stratum total estimated as
+// Population × sample mean) and the half-width of its 95% confidence
+// interval under sampling without replacement (finite-population
+// corrected). Fully enumerated strata contribute zero variance, as do
+// single-observation strata (their spread is unobservable, which keeps
+// the interval honest-by-omission rather than NaN).
+func StratifiedEstimate(strata []Stratum) (total, ci95 float64) {
+	var variance float64
+	for _, st := range strata {
+		n, s := float64(st.Population), float64(len(st.Values))
+		if s == 0 {
+			continue
+		}
+		total += n * Mean(st.Values)
+		if len(st.Values) >= 2 && st.Population > len(st.Values) {
+			variance += n * (n - s) * Variance(st.Values) / s
+		}
+	}
+	return total, 1.96 * math.Sqrt(variance)
+}

@@ -101,6 +101,31 @@ const (
 	GatherDemandPagingMosaic = numa.DemandPagingMosaic
 )
 
+// Effort is the unified simulation-effort knob: mode ("exact",
+// "sampled", "quick"), schedule caps, the sampled-mode CI target, and
+// intra-cell parallelism. The same type is threaded through Options,
+// HarnessOptions, the neuserve request schema, and the cluster wire
+// protocol; see docs/API.md for the request form.
+type Effort = exp.Effort
+
+// Effort modes.
+const (
+	// EffortExact fully simulates every cell (the default).
+	EffortExact = exp.EffortExact
+	// EffortSampled simulates a seeded, stratified subset of each cell's
+	// epochs and scales the totals up with 95% confidence intervals
+	// (Result.Sampled carries the audit).
+	EffortSampled = exp.EffortSampled
+	// EffortQuick shrinks harness sweep grids (models, batches, caps) for
+	// smoke and benchmark use; cells still simulate exactly.
+	EffortQuick = exp.EffortQuick
+)
+
+// SampleStats is the sampling audit attached to a sampled-mode Result:
+// population and simulated epoch counts, the derivable seed, and the
+// confidence interval around the cycle estimate.
+type SampleStats = npu.SampleStats
+
 // Options tunes a Simulate call.
 type Options struct {
 	// PageSize defaults to Page4K.
@@ -111,6 +136,15 @@ type Options struct {
 	// SpatialNPU switches the compute model from the TPU-style systolic
 	// array to the DaDianNao/Eyeriss-style spatial grid (§VI-B).
 	SpatialNPU bool
+	// Effort selects the simulation mode and intra-cell parallelism. The
+	// zero value simulates exactly on the monolithic engine. Effort caps,
+	// when non-zero, win over the flat RepeatCap/TileCap above. Setting
+	// IntraCellWorkers > 0 splits the simulation across cores at epoch
+	// barriers — results are identical for every worker count ≥ 1 but the
+	// epoch-structured schedule is a distinct semantics from the
+	// monolithic engine; EffortSampled simulates a seeded epoch subset
+	// and fills Result.Sampled with the scaling audit.
+	Effort Effort
 }
 
 // DenseModels returns the paper aliases of the six dense workloads.
@@ -135,6 +169,9 @@ func Simulate(model string, batch int, kind MMUKind, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Effort.Validate(); err != nil {
+		return nil, err
+	}
 	ps := opts.PageSize
 	if ps == 0 {
 		ps = Page4K
@@ -143,12 +180,22 @@ func Simulate(model string, batch int, kind MMUKind, opts Options) (*Result, err
 	if kind == core.Oracle {
 		mcfg = core.Config{Kind: core.Oracle, PageSize: ps}
 	}
+	repeatCap, tileCap := opts.RepeatCap, opts.TileCap
+	if opts.Effort.RepeatCap != 0 {
+		repeatCap = opts.Effort.RepeatCap
+	}
+	if opts.Effort.TileCap != 0 {
+		tileCap = opts.Effort.TileCap
+	}
 	cfg := npu.Config{
-		MMU:       mcfg,
-		Memory:    memsys.Baseline(),
-		Compute:   systolic.Baseline(),
-		RepeatCap: opts.RepeatCap,
-		TileCap:   opts.TileCap,
+		MMU:              mcfg,
+		Memory:           memsys.Baseline(),
+		Compute:          systolic.Baseline(),
+		RepeatCap:        repeatCap,
+		TileCap:          tileCap,
+		IntraCellWorkers: opts.Effort.IntraCellWorkers,
+		Sampled:          opts.Effort.Sampled(),
+		SampleTargetCI:   opts.Effort.TargetCI,
 	}
 	if opts.SpatialNPU {
 		cfg.Compute = spatial.Baseline()
@@ -189,8 +236,11 @@ func SimulateSparseIterations(model string, batch, iterations int, mode GatherMo
 // for the per-figure methods and EXPERIMENTS.md for the index.
 type Harness = exp.Harness
 
-// HarnessOptions tunes harness effort (Quick mode shrinks sweeps for CI;
-// Workers bounds the sweep engine's parallelism, 0 = GOMAXPROCS).
+// HarnessOptions tunes harness effort: the unified Effort knob (mode,
+// caps, CI target, intra-cell parallelism — the legacy flat
+// Quick/RepeatCap/TileCap fields remain accepted and are folded in) and
+// Workers, which bounds the sweep engine's cross-cell parallelism
+// (0 = GOMAXPROCS).
 type HarnessOptions = exp.Options
 
 // NewHarness returns a figure-regeneration harness.
